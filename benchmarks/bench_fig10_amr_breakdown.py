@@ -1,0 +1,66 @@
+"""Figure 10 (table): AMR timing breakdown vs solve time for the full
+mantle convection code.
+
+Paper: per adaptation step (= per 16 time steps), every AMR function
+(CoarsenTree/RefineTree, BalanceTree, PartitionTree, ExtractMesh,
+InterpolateFields/TransferFields, MarkElements) costs fractions of a
+second while the solve costs hundreds of seconds; the AMR/solve ratio is
+below 1% at every core count.
+
+Executed: the serial RHEA loop with the per-function AMR timings from the
+Figure-4 driver, against the Stokes+transport solve time of the same
+cycle."""
+
+import numpy as np
+
+from repro.perf import format_table
+from repro.rhea import MantleConvection, RheaConfig
+
+
+def run_cycles(n_cycles=2, level=3):
+    cfg = RheaConfig(
+        Ra=1e5, initial_level=level, min_level=2, max_level=level + 2,
+        adapt_every=4, picard_iterations=1, stokes_tol=1e-6,
+        target_elements=int(8**level * 1.3),
+    )
+    sim = MantleConvection(cfg)
+    sim.run(n_cycles)
+    return sim
+
+
+def test_fig10_amr_vs_solve(record_table, benchmark):
+    sim = benchmark.pedantic(run_cycles, rounds=1, iterations=1)
+    rows = []
+    for i, d in enumerate(sim.history):
+        t = d.timings
+        amr_funcs = ["MarkElements", "CoarsenTree", "RefineTree",
+                     "BalanceTree", "ExtractMesh", "InterpolateFields"]
+        amr = sum(t.get(k, 0.0) for k in amr_funcs)
+        solve = t.get("Stokes", 0.0) + t.get("TimeIntegration", 0.0)
+        rows.append(
+            [
+                i + 1, d.n_elements,
+                round(t.get("MarkElements", 0), 4),
+                round(t.get("CoarsenTree", 0) + t.get("RefineTree", 0), 4),
+                round(t.get("BalanceTree", 0), 4),
+                round(t.get("ExtractMesh", 0), 4),
+                round(t.get("InterpolateFields", 0), 4),
+                round(solve, 3),
+                f"{100 * amr / solve:.2f}%",
+            ]
+        )
+    table = format_table(
+        ["cycle", "#elem", "MarkE", "Coars+Refine", "BalanceT", "ExtractM", "InterpF", "solve s", "AMR/solve"],
+        rows,
+        title="Fig. 10 — per-adaptation-step AMR timings (s) vs solve time, full mantle convection",
+    )
+    table += (
+        "\npaper: AMR/solve < 1% at every core count (1 to 16,384); in this"
+        "\nPython build the interpreter inflates tree/mesh operations, so the"
+        "\nratio lands higher but stays a small fraction of the solve.\n"
+    )
+    # shape assertion: AMR is a minor cost next to the implicit solve
+    for r in rows:
+        ratio = float(r[-1].rstrip("%"))
+        assert ratio < 50.0
+    record_table("fig10_amr_breakdown", table)

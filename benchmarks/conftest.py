@@ -1,0 +1,24 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and both
+prints it and writes it to ``benchmarks/results/<name>.txt`` so the
+numbers survive the pytest capture.  EXPERIMENTS.md records the
+paper-reported values next to these outputs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (offline clusters), via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

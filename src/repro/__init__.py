@@ -1,0 +1,41 @@
+"""repro — reproduction of Burstedde et al., "Scalable Adaptive Mantle
+Convection Simulation on Petascale Supercomputers" (SC 2008).
+
+Subpackages
+-----------
+parallel:
+    Simulated-MPI SPMD substrate (threads + MPI-like communicator) and the
+    Ranger machine model used to price measured operation counts at the
+    paper's core counts.
+octree:
+    Morton-ordered linear octrees, serial and distributed; the parallel
+    ALPS tree functions (NewTree, Refine/CoarsenTree, BalanceTree,
+    PartitionTree).
+mesh:
+    Hexahedral mesh extraction from octrees: hanging-node constraints,
+    ghost layers, global dof numbering; field interpolation and transfer;
+    MarkElements.
+fem:
+    Trilinear hexahedral finite elements: SUPG advection-diffusion,
+    variable-viscosity Stokes blocks, constraint-eliminated assembly.
+solvers:
+    MINRES, smoothed-aggregation AMG, the block-diagonal Stokes
+    preconditioner, explicit time integrators.
+rhea:
+    The mantle convection application: viscosity laws with yielding,
+    the coupled Boussinesq time loop, error indicators.
+forest:
+    Forest-of-octrees (p4est): multi-tree connectivities, inter-tree
+    2:1 balance, cubed-sphere spherical shells.
+mangll:
+    High-order nodal discontinuous Galerkin on hexahedra: LGL operators,
+    matrix vs tensor-product derivative kernels, DG advection.
+amr:
+    The end-to-end adaptation pipeline of Figure 4 with per-function
+    timing breakdowns.
+perf:
+    Scaling-experiment harnesses and table formatters for the paper's
+    figures.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,22 @@
+"""The Figure-4 AMR pipeline: MARKELEMENTS and the adaptation drivers
+(serial driver for RHEA, SPMD driver for the Section-V benchmarks)."""
+
+from .driver import AdaptReport, adapt_mesh
+from .mark import MarkResult, mark_elements
+from .pardriver import (
+    ParAdaptStats,
+    ParAmrPipeline,
+    RotatingFrontWorkload,
+    rotating_velocity,
+)
+
+__all__ = [
+    "AdaptReport",
+    "adapt_mesh",
+    "MarkResult",
+    "mark_elements",
+    "ParAmrPipeline",
+    "ParAdaptStats",
+    "RotatingFrontWorkload",
+    "rotating_velocity",
+]

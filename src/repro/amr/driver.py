@@ -1,0 +1,134 @@
+"""The Figure-4 adaptation pipeline (serial driver).
+
+One adaptation step chains, in order: MARKELEMENTS -> COARSENTREE ->
+REFINETREE -> BALANCETREE -> EXTRACTMESH -> INTERPOLATEFIELDS, timing each
+stage and recording the element bookkeeping (refined / coarsened /
+balance-added / unchanged) that Figure 5 plots.
+
+The serial driver operates on a :class:`~repro.mesh.Mesh` and is what the
+RHEA application uses; the SPMD pipeline over distributed trees lives in
+:mod:`repro.amr.pardriver`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh import Mesh, extract_mesh
+from ..mesh.fields import interpolate_fields
+from ..octree import balance, morton_encode
+from .mark import MarkResult, mark_elements
+
+__all__ = ["AdaptReport", "adapt_mesh"]
+
+
+@dataclass
+class AdaptReport:
+    """Bookkeeping of one adaptation step (Figure 5 quantities)."""
+
+    n_before: int
+    n_after: int
+    n_refined: int          # elements replaced by children
+    n_coarsened: int        # elements merged away (8 per family)
+    n_balance_added: int    # leaves created by BALANCETREE
+    n_unchanged: int
+    mark: MarkResult
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def fraction_changed(self) -> float:
+        return 1.0 - self.n_unchanged / max(self.n_before, 1)
+
+
+def adapt_mesh(
+    mesh: Mesh,
+    eta: np.ndarray,
+    target: int,
+    fields: dict | None = None,
+    *,
+    min_level: int = 0,
+    max_level: int = 18,
+    connectivity: str = "corner",
+    **mark_kwargs,
+) -> tuple[Mesh, dict, AdaptReport]:
+    """Run one full adaptation step on a serial mesh.
+
+    Parameters
+    ----------
+    mesh:
+        Current mesh.
+    eta:
+        Per-element error indicator (length ``mesh.n_elements``).
+    target:
+        Desired element count after adaptation (MARKELEMENTS tolerance
+        band applies).
+    fields:
+        Optional dict of full node vectors to transfer to the new mesh.
+
+    Returns
+    -------
+    ``(new_mesh, new_fields, report)``.
+    """
+    tree = mesh.tree
+    t = {}
+
+    t0 = time.perf_counter()
+    mark = mark_elements(
+        eta, tree.levels, target, min_level=min_level, max_level=max_level, **mark_kwargs
+    )
+    t["MarkElements"] = time.perf_counter() - t0
+
+    # COARSENTREE: never coarsen a leaf that is also marked for refinement.
+    t0 = time.perf_counter()
+    coarsen_mask = mark.coarsen & ~mark.refine
+    tree_c, nfam = tree.coarsen(coarsen_mask)
+    t["CoarsenTree"] = time.perf_counter() - t0
+
+    # REFINETREE: refine-marked leaves survive coarsening untouched, so
+    # re-locate them in the coarsened tree by their center points.
+    t0 = time.perf_counter()
+    ref_leaves = tree.leaves[mark.refine]
+    refine_mask_c = np.zeros(len(tree_c), dtype=bool)
+    if len(ref_leaves):
+        h = ref_leaves.lengths()
+        idx = tree_c.find_containing_keys(
+            morton_encode(ref_leaves.x + h // 2, ref_leaves.y + h // 2, ref_leaves.z + h // 2)
+        )
+        # guard: a refine-marked leaf must still exist at the same level
+        if not np.array_equal(tree_c.levels[idx], ref_leaves.level):
+            raise AssertionError("refine-marked leaf was coarsened away")
+        refine_mask_c[idx] = True
+    tree_r = tree_c.refine(refine_mask_c)
+    t["RefineTree"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bres = balance(tree_r, connectivity)
+    t["BalanceTree"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    new_mesh = extract_mesh(bres.tree, mesh.domain)
+    t["ExtractMesh"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    new_fields = {}
+    if fields:
+        for k, v in fields.items():
+            new_fields[k] = interpolate_fields(mesh, v, new_mesh)
+    t["InterpolateFields"] = time.perf_counter() - t0
+
+    n_refined = int(mark.refine.sum())
+    n_coarsened = 8 * nfam
+    report = AdaptReport(
+        n_before=len(tree),
+        n_after=len(bres.tree),
+        n_refined=n_refined,
+        n_coarsened=n_coarsened,
+        n_balance_added=bres.leaves_added,
+        n_unchanged=len(tree) - n_refined - n_coarsened,
+        mark=mark,
+        timings=t,
+    )
+    return new_mesh, new_fields, report

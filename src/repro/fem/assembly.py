@@ -1,0 +1,145 @@
+"""Global sparse assembly with hanging-node constraint elimination.
+
+Element matrices (produced by :class:`~repro.fem.hexops.ElementOps`) are
+scattered into global CSR operators over *all* mesh nodes, then the
+hanging-node constraint operator ``Z`` folds them onto independent dofs:
+``A_c = Z^T A Z``.  This is the matrix form of the element-level constraint
+enforcement described in Section IV ("algebraic constraints on hanging
+nodes impose continuity").
+
+Velocity operators use a component-blocked layout: dof ``a * n + i`` is
+component ``a`` at independent node ``i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh import Mesh
+
+__all__ = [
+    "assemble_scalar",
+    "assemble_vector",
+    "assemble_divergence",
+    "assemble_rhs",
+    "lumped_mass",
+    "apply_dirichlet",
+    "Z3",
+]
+
+
+def _scatter(element_nodes: np.ndarray, elem_mats: np.ndarray, n_nodes: int) -> sp.csr_matrix:
+    """COO-scatter (ne, k, k) element matrices using (ne, k) node maps."""
+    ne, k = element_nodes.shape
+    rows = np.repeat(element_nodes, k, axis=1).ravel()
+    cols = np.tile(element_nodes, (1, k)).ravel()
+    return sp.csr_matrix(
+        (elem_mats.ravel(), (rows, cols)), shape=(n_nodes, n_nodes)
+    )
+
+
+def assemble_scalar(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -> sp.csr_matrix:
+    """Assemble (ne, 8, 8) element matrices into a global scalar operator.
+
+    With ``constrain=True`` (default) the result acts on independent dofs
+    (``Z^T A Z``); otherwise on all mesh nodes.
+    """
+    if elem_mats.shape != (mesh.n_elements, 8, 8):
+        raise ValueError("element matrix array has wrong shape")
+    A = _scatter(mesh.element_nodes, elem_mats, mesh.n_nodes)
+    if not constrain:
+        return A
+    return sp.csr_matrix(mesh.Z.T @ A @ mesh.Z)
+
+
+def Z3(mesh: Mesh) -> sp.csr_matrix:
+    """Constraint operator for component-blocked vector fields."""
+    return sp.block_diag([mesh.Z] * 3, format="csr")
+
+
+def assemble_vector(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -> sp.csr_matrix:
+    """Assemble (ne, 24, 24) component-blocked velocity element matrices.
+
+    Local dof ``8a + i`` maps to global node dof ``a * n_nodes +
+    element_nodes[e, i]``.
+    """
+    if elem_mats.shape != (mesh.n_elements, 24, 24):
+        raise ValueError("element matrix array has wrong shape")
+    n = mesh.n_nodes
+    en = mesh.element_nodes
+    gdofs = np.concatenate([a * n + en for a in range(3)], axis=1)  # (ne, 24)
+    A = _scatter(gdofs, elem_mats, 3 * n)
+    if not constrain:
+        return A
+    z3 = Z3(mesh)
+    return sp.csr_matrix(z3.T @ A @ z3)
+
+
+def assemble_divergence(mesh: Mesh, elem_B: np.ndarray, constrain: bool = True) -> sp.csr_matrix:
+    """Assemble (ne, 8, 24) pressure-velocity coupling blocks into the
+    (n_p, 3 n_u) divergence operator."""
+    if elem_B.shape != (mesh.n_elements, 8, 24):
+        raise ValueError("element matrix array has wrong shape")
+    n = mesh.n_nodes
+    en = mesh.element_nodes
+    vdofs = np.concatenate([a * n + en for a in range(3)], axis=1)  # (ne, 24)
+    rows = np.repeat(en, 24, axis=1).ravel()
+    cols = np.tile(vdofs, (1, 8)).ravel()
+    B = sp.csr_matrix((elem_B.ravel(), (rows, cols)), shape=(n, 3 * n))
+    if not constrain:
+        return B
+    return sp.csr_matrix(mesh.Z.T @ B @ Z3(mesh))
+
+
+def assemble_rhs(mesh: Mesh, elem_vecs: np.ndarray, constrain: bool = True) -> np.ndarray:
+    """Assemble (ne, 8) element load vectors into a global rhs."""
+    if elem_vecs.shape != (mesh.n_elements, 8):
+        raise ValueError("element vector array has wrong shape")
+    b = np.zeros(mesh.n_nodes)
+    np.add.at(b, mesh.element_nodes.ravel(), elem_vecs.ravel())
+    if not constrain:
+        return b
+    return mesh.Z.T @ b
+
+
+def lumped_mass(mesh: Mesh, elem_mass: np.ndarray, constrain: bool = True) -> np.ndarray:
+    """Row-sum lumped mass vector from (ne, 8, 8) element mass matrices.
+
+    Lumping happens after constraint folding so the lumped operator is
+    consistent with the constrained Galerkin mass (``Z^T M Z`` row sums).
+    """
+    M = assemble_scalar(mesh, elem_mass, constrain=constrain)
+    d = np.asarray(M.sum(axis=1)).ravel()
+    if np.any(d <= 0):
+        raise AssertionError("non-positive lumped mass entry")
+    return d
+
+
+def apply_dirichlet(
+    A: sp.csr_matrix,
+    b: np.ndarray | None,
+    dofs: np.ndarray,
+    values: np.ndarray | float = 0.0,
+) -> tuple[sp.csr_matrix, np.ndarray | None]:
+    """Impose Dirichlet conditions symmetrically.
+
+    Rows and columns of constrained dofs are zeroed (column elimination
+    moves the known values to the rhs), the diagonal is set to 1 and the
+    rhs entries to the prescribed values.  Returns new ``(A, b)``.
+    """
+    dofs = np.asarray(dofs)
+    if dofs.dtype == bool:
+        dofs = np.flatnonzero(dofs)
+    n = A.shape[0]
+    vals = np.zeros(n)
+    vals[dofs] = values
+    if b is not None:
+        b = b - A @ vals
+    mask = np.ones(n)
+    mask[dofs] = 0.0
+    D = sp.diags(mask)
+    A = sp.csr_matrix(D @ A @ D + sp.diags(1.0 - mask))
+    if b is not None:
+        b[dofs] = vals[dofs]
+    return A, b

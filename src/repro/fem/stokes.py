@@ -1,0 +1,187 @@
+"""The variable-viscosity Stokes saddle-point system (Section III).
+
+Equal-order trilinear velocity/pressure with Dohrmann-Bochev polynomial
+pressure stabilization gives the symmetric indefinite system
+
+    [ A   B^T ] [u]   [f]
+    [ B   -C  ] [p] = [0]
+
+where ``A`` is the viscous strain-rate operator, ``B`` the (negative)
+discrete divergence, and ``C`` the inverse-viscosity-scaled stabilization.
+The system is solved by preconditioned MINRES (:mod:`repro.solvers`); the
+preconditioner blocks exposed here follow the paper exactly:
+
+- ``Atilde`` — a *scalar* variable-viscosity Poisson operator applied to
+  each velocity component (the discrete vector Laplacian approximation of
+  ``A``), approximated by one AMG V-cycle per application;
+- ``Stilde`` — the inverse-viscosity-weighted lumped pressure mass, a
+  diagonal spectrally equivalent to the Schur complement.
+
+Velocity boundary conditions: ``"free_slip"`` (zero normal component on
+every face — the mantle convection choice) or ``"no_slip"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh import Mesh
+from .assembly import (
+    apply_dirichlet,
+    assemble_divergence,
+    assemble_scalar,
+    assemble_vector,
+)
+from .hexops import ElementOps
+
+__all__ = ["StokesSystem"]
+
+_OPS = ElementOps()
+
+
+@dataclass
+class _BCInfo:
+    dofs: np.ndarray  # constrained velocity dof indices (component-blocked)
+    per_component: list[np.ndarray]  # constrained scalar dofs per component
+
+
+class StokesSystem:
+    """Assembled Stokes blocks, boundary conditions, and the saddle
+    operator used by MINRES.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh.
+    viscosity:
+        Per-element viscosity ``eta_e`` (may vary over many orders of
+        magnitude).
+    body_force:
+        ``(n_nodes, 3)`` nodal body force density (e.g. ``Ra T e_r``); the
+        consistent load is the nodal mass applied per component.
+    bc:
+        ``"free_slip"`` or ``"no_slip"``.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        viscosity: np.ndarray,
+        body_force: np.ndarray | None = None,
+        bc: str = "free_slip",
+    ):
+        self.mesh = mesh
+        self.viscosity = np.asarray(viscosity, dtype=np.float64)
+        if self.viscosity.shape != (mesh.n_elements,):
+            raise ValueError("viscosity must be per-element")
+        if np.any(self.viscosity <= 0):
+            raise ValueError("viscosity must be positive")
+        sizes = mesh.element_sizes()
+        n = mesh.n_independent
+
+        self.A = assemble_vector(mesh, _OPS.strain_stiffness(sizes, self.viscosity))
+        self.B = sp.csr_matrix(-assemble_divergence(mesh, _OPS.divergence(sizes)))
+        self.C = assemble_scalar(
+            mesh, _OPS.pressure_stabilization(sizes, self.viscosity)
+        )
+
+        # consistent body-force load
+        self.f = np.zeros(3 * n)
+        if body_force is not None:
+            bf = np.asarray(body_force, dtype=np.float64)
+            if bf.shape != (mesh.n_nodes, 3):
+                raise ValueError("body_force must be (n_nodes, 3)")
+            M_node = assemble_scalar(mesh, _OPS.mass(sizes), constrain=False)
+            for a in range(3):
+                self.f[a * n : (a + 1) * n] = mesh.Z.T @ (M_node @ bf[:, a])
+
+        # velocity boundary conditions
+        self.bc_kind = bc
+        self.bc = self._build_bcs(bc)
+        self.A, self.f = apply_dirichlet(self.A, self.f, self.bc.dofs)
+        # constrained velocity dofs must also drop out of the divergence
+        col_mask = np.ones(3 * n)
+        col_mask[self.bc.dofs] = 0.0
+        self.B = sp.csr_matrix(self.B @ sp.diags(col_mask))
+
+        self.n_u = 3 * n
+        self.n_p = n
+
+    # -- boundary conditions ----------------------------------------------------
+
+    def _build_bcs(self, bc: str) -> _BCInfo:
+        mesh = self.mesh
+        per_component: list[np.ndarray] = []
+        all_dofs: list[np.ndarray] = []
+        n = mesh.n_independent
+        for a in range(3):
+            if bc == "free_slip":
+                nodes = mesh.boundary_node_mask(axis=a, side=0) | mesh.boundary_node_mask(
+                    axis=a, side=1
+                )
+            elif bc == "no_slip":
+                nodes = mesh.boundary_node_mask()
+            else:
+                raise ValueError(f"unknown bc {bc!r}")
+            dofs = mesh.dof_of_node[np.flatnonzero(nodes)]
+            dofs = np.unique(dofs[dofs >= 0])
+            per_component.append(dofs)
+            all_dofs.append(a * n + dofs)
+        return _BCInfo(dofs=np.concatenate(all_dofs), per_component=per_component)
+
+    # -- saddle operator -----------------------------------------------------------
+
+    @property
+    def n_dof(self) -> int:
+        return self.n_u + self.n_p
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the full saddle operator [[A, B^T], [B, -C]]."""
+        u, p = x[: self.n_u], x[self.n_u :]
+        out = np.empty_like(x)
+        out[: self.n_u] = self.A @ u + self.B.T @ p
+        out[self.n_u :] = self.B @ u - self.C @ p
+        return out
+
+    def rhs(self) -> np.ndarray:
+        b = np.zeros(self.n_dof)
+        b[: self.n_u] = self.f
+        return b
+
+    def project_pressure_mean(self, x: np.ndarray) -> np.ndarray:
+        """Remove the constant-pressure null component (enclosed-flow
+        Stokes determines pressure only up to a constant)."""
+        out = x.copy()
+        p = out[self.n_u :]
+        p -= p.mean()
+        return out
+
+    # -- preconditioner ingredients ----------------------------------------------
+
+    def poisson_blocks(self) -> list[sp.csr_matrix]:
+        """The scalar variable-viscosity Poisson operator ``Atilde``, one
+        copy per velocity component with that component's Dirichlet rows
+        (Section III: for constant viscosity and Dirichlet BCs, ``A`` and
+        ``Atilde`` are equivalent)."""
+        sizes = self.mesh.element_sizes()
+        K = assemble_scalar(self.mesh, _OPS.stiffness(sizes, self.viscosity))
+        blocks = []
+        for a in range(3):
+            Ka, _ = apply_dirichlet(K, None, self.bc.per_component[a])
+            blocks.append(Ka)
+        return blocks
+
+    def schur_diagonal(self) -> np.ndarray:
+        """``Stilde``: inverse-viscosity-weighted lumped pressure mass."""
+        sizes = self.mesh.element_sizes()
+        from .assembly import lumped_mass
+
+        d = lumped_mass(self.mesh, _OPS.mass(sizes, 1.0 / self.viscosity))
+        return d
+
+    def velocity_divergence_norm(self, x: np.ndarray) -> float:
+        """||B u|| — discrete divergence residual of a solution vector."""
+        return float(np.linalg.norm(self.B @ x[: self.n_u]))

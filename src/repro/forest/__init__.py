@@ -1,0 +1,25 @@
+"""Forest-of-octrees AMR on general geometries (the P4EST layer)."""
+
+from .connectivity import (
+    Connectivity,
+    FaceConnection,
+    brick_connectivity,
+    unit_cube,
+)
+from .cubed_sphere import RadialProjectionGeometry, cap_axes, cubed_sphere_connectivity
+from .forest import Forest
+from .parforest import FOREST_MAX_LEVEL, ParForest, forest_key
+
+__all__ = [
+    "Connectivity",
+    "FaceConnection",
+    "brick_connectivity",
+    "unit_cube",
+    "cubed_sphere_connectivity",
+    "RadialProjectionGeometry",
+    "cap_axes",
+    "Forest",
+    "ParForest",
+    "FOREST_MAX_LEVEL",
+    "forest_key",
+]

@@ -1,0 +1,276 @@
+"""p4est-style connectivity: how octrees glue into a forest.
+
+A connectivity is a list of vertices and, per tree, the 8 vertex indices
+of its corners (same x-fastest ordering as octants).  Face neighbor
+relations and the *coordinate transforms* between adjacent trees are
+derived automatically by matching the vertex-id quadruples of faces — the
+paper's "connectivity structure that defines the topological relations
+between neighboring octrees", where "connecting faces involve
+transformations between the coordinate systems of each of the neighboring
+trees".
+
+The transform between two trees sharing a face is an affine lattice
+isometry ``p_B = R p_A + o`` (R a signed permutation), computed from the
+correspondence of the four shared vertices plus the rule that the outward
+normal of the face in A maps to the inward normal in B.  All arithmetic is
+exact integer arithmetic on octant coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..octree.morton import ROOT_LEN
+
+__all__ = ["Connectivity", "FaceConnection", "unit_cube", "brick_connectivity"]
+
+# Face corner quadruples in octant vertex numbering (x fastest), and the
+# outward normal of each face.  Corner order within a face is the induced
+# lattice order (lower axis fastest).
+FACE_CORNERS = np.array(
+    [
+        (0, 2, 4, 6),  # -x
+        (1, 3, 5, 7),  # +x
+        (0, 1, 4, 5),  # -y
+        (2, 3, 6, 7),  # +y
+        (0, 1, 2, 3),  # -z
+        (4, 5, 6, 7),  # +z
+    ],
+    dtype=np.int64,
+)
+
+FACE_NORMALS = np.array(
+    [
+        (-1, 0, 0), (1, 0, 0),
+        (0, -1, 0), (0, 1, 0),
+        (0, 0, -1), (0, 0, 1),
+    ],
+    dtype=np.int64,
+)
+
+# Lattice positions of the 8 corners in units of ROOT_LEN.
+_CORNER_LATTICE = np.array(
+    [[(i & 1), (i >> 1) & 1, (i >> 2) & 1] for i in range(8)], dtype=np.int64
+)
+
+
+@dataclass(frozen=True)
+class FaceConnection:
+    """One side of a tree-to-tree face gluing.
+
+    Attributes
+    ----------
+    neighbor_tree, neighbor_face:
+        The tree and face on the other side.
+    R, o:
+        The lattice transform ``p_B = R @ p_A + o`` mapping coordinates in
+        this tree's frame (including points beyond the shared face) into
+        the neighbor's frame.
+    """
+
+    neighbor_tree: int
+    neighbor_face: int
+    R: tuple  # 3x3 nested tuple of ints
+    o: tuple  # length-3 tuple of ints
+
+    def transform(self, pts: np.ndarray) -> np.ndarray:
+        """Map (n, 3) integer points from this tree's frame to the
+        neighbor's frame."""
+        R = np.array(self.R, dtype=np.int64)
+        o = np.array(self.o, dtype=np.int64)
+        return pts @ R.T + o
+
+
+class Connectivity:
+    """Vertex-based forest connectivity with derived face transforms.
+
+    Parameters
+    ----------
+    vertices:
+        (n_vertices, 3) float coordinates (used for geometry maps).
+    tree_vertices:
+        (n_trees, 8) vertex indices per tree, octant corner order.
+    """
+
+    def __init__(self, vertices: np.ndarray, tree_vertices: np.ndarray, geometry=None):
+        self.vertices = np.asarray(vertices, dtype=np.float64)
+        self.tree_vertices = np.asarray(tree_vertices, dtype=np.int64)
+        #: optional curved geometry (object with map/jacobian); when None
+        #: the trilinear vertex map is used.  Mirrors p4est's geometry
+        #: callbacks: the octree topology is the same, only the embedding
+        #: of each tree changes.
+        self.geometry = geometry
+        if self.tree_vertices.ndim != 2 or self.tree_vertices.shape[1] != 8:
+            raise ValueError("tree_vertices must be (n_trees, 8)")
+        if self.tree_vertices.max() >= len(self.vertices):
+            raise ValueError("vertex index out of range")
+        self.n_trees = len(self.tree_vertices)
+        # face_connections[t][f] is a FaceConnection or None (boundary)
+        self.face_connections: list[list[FaceConnection | None]] = [
+            [None] * 6 for _ in range(self.n_trees)
+        ]
+        self._build_face_connections()
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_face_connections(self) -> None:
+        # index faces by their sorted vertex-id quadruple
+        by_key: dict[tuple, list[tuple[int, int]]] = {}
+        for t in range(self.n_trees):
+            for f in range(6):
+                ids = self.tree_vertices[t, FACE_CORNERS[f]]
+                key = tuple(sorted(int(v) for v in ids))
+                by_key.setdefault(key, []).append((t, f))
+        for key, items in by_key.items():
+            if len(items) == 1:
+                continue  # boundary face
+            if len(items) > 2:
+                raise ValueError(f"face shared by more than two trees: {key}")
+            (ta, fa), (tb, fb) = items
+            self.face_connections[ta][fa] = self._make_transform(ta, fa, tb, fb)
+            self.face_connections[tb][fb] = self._make_transform(tb, fb, ta, fa)
+
+    def _make_transform(self, ta: int, fa: int, tb: int, fb: int) -> FaceConnection:
+        """Lattice transform from tree ``ta``'s frame to ``tb``'s frame
+        across the shared face ``fa``/``fb``."""
+        ids_a = self.tree_vertices[ta, FACE_CORNERS[fa]]
+        ids_b = self.tree_vertices[tb, FACE_CORNERS[fb]]
+        # positions of the face corners in each tree's lattice frame
+        qa = _CORNER_LATTICE[FACE_CORNERS[fa]] * ROOT_LEN  # (4, 3)
+        qb = _CORNER_LATTICE[FACE_CORNERS[fb]] * ROOT_LEN
+        # correspondence: corner j of B's face equals which corner of A's?
+        perm = np.array([int(np.flatnonzero(ids_a == v)[0]) for v in ids_b])
+        # rb[j] (B frame) corresponds to qa[perm[j]] (A frame)
+        # Build the affine map from three A-frame direction vectors to B:
+        #   tangent1, tangent2 of the face, and the outward normal of fa
+        #   mapping to the *inward* normal of fb.
+        a0 = qa[perm[0]]
+        b0 = qb[0]
+        A_dirs = np.stack(
+            [
+                qa[perm[1]] - a0,
+                qa[perm[2]] - a0,
+                FACE_NORMALS[fa] * ROOT_LEN,
+            ],
+            axis=1,
+        ).astype(np.float64)
+        B_dirs = np.stack(
+            [
+                qb[1] - b0,
+                qb[2] - b0,
+                -FACE_NORMALS[fb] * ROOT_LEN,
+            ],
+            axis=1,
+        ).astype(np.float64)
+        R = B_dirs @ np.linalg.inv(A_dirs)
+        R_int = np.rint(R).astype(np.int64)
+        if not np.allclose(R, R_int, atol=1e-9):
+            raise AssertionError("face transform is not a lattice isometry")
+        o = b0 - R_int @ a0
+        return FaceConnection(
+            neighbor_tree=tb,
+            neighbor_face=fb,
+            R=tuple(map(tuple, R_int.tolist())),
+            o=tuple(o.tolist()),
+        )
+
+    # -- geometry --------------------------------------------------------------------
+
+    def tree_map(self, tree: int, ref: np.ndarray) -> np.ndarray:
+        """Geometry map: (n, 3) reference coords in [0, 1]^3 of ``tree``
+        to physical space (curved geometry when attached, else the
+        trilinear vertex map)."""
+        if self.geometry is not None:
+            return self.geometry.map(self, tree, np.asarray(ref, dtype=np.float64))
+        return self.trilinear_map(tree, ref)
+
+    def trilinear_map(self, tree: int, ref: np.ndarray) -> np.ndarray:
+        """The straight-sided trilinear vertex map (always available)."""
+        ref = np.asarray(ref, dtype=np.float64)
+        verts = self.vertices[self.tree_vertices[tree]]  # (8, 3)
+        x, y, z = ref[:, 0], ref[:, 1], ref[:, 2]
+        out = np.zeros((len(ref), 3))
+        for i in range(8):
+            w = (
+                (x if i & 1 else 1 - x)
+                * (y if (i >> 1) & 1 else 1 - y)
+                * (z if (i >> 2) & 1 else 1 - z)
+            )
+            out += w[:, None] * verts[i]
+        return out
+
+    def tree_map_jacobian(self, tree: int, ref: np.ndarray) -> np.ndarray:
+        """(n, 3, 3) Jacobian ``d(phys)/d(ref)`` of the tree geometry map
+        at reference points in [0, 1]^3."""
+        if self.geometry is not None:
+            return self.geometry.jacobian(self, tree, np.asarray(ref, dtype=np.float64))
+        return self.trilinear_jacobian(tree, ref)
+
+    def trilinear_jacobian(self, tree: int, ref: np.ndarray) -> np.ndarray:
+        """Jacobian of the straight-sided trilinear vertex map."""
+        ref = np.asarray(ref, dtype=np.float64)
+        verts = self.vertices[self.tree_vertices[tree]]  # (8, 3)
+        x, y, z = ref[:, 0], ref[:, 1], ref[:, 2]
+        J = np.zeros((len(ref), 3, 3))
+        for i in range(8):
+            fx = x if i & 1 else 1 - x
+            fy = y if (i >> 1) & 1 else 1 - y
+            fz = z if (i >> 2) & 1 else 1 - z
+            dfx = np.full_like(x, 1.0 if i & 1 else -1.0)
+            dfy = np.full_like(y, 1.0 if (i >> 1) & 1 else -1.0)
+            dfz = np.full_like(z, 1.0 if (i >> 2) & 1 else -1.0)
+            J[:, :, 0] += (dfx * fy * fz)[:, None] * verts[i]
+            J[:, :, 1] += (fx * dfy * fz)[:, None] * verts[i]
+            J[:, :, 2] += (fx * fy * dfz)[:, None] * verts[i]
+        return J
+
+    def boundary_faces(self) -> list[tuple[int, int]]:
+        """All (tree, face) pairs on the forest boundary."""
+        return [
+            (t, f)
+            for t in range(self.n_trees)
+            for f in range(6)
+            if self.face_connections[t][f] is None
+        ]
+
+
+def unit_cube() -> Connectivity:
+    """Single-tree connectivity (the plain octree case)."""
+    verts = _CORNER_LATTICE.astype(np.float64)
+    return Connectivity(verts, np.arange(8)[None, :])
+
+
+def brick_connectivity(nx: int, ny: int, nz: int) -> Connectivity:
+    """``nx x ny x nz`` grid of unit-cube trees (Cartesian multiblock).
+
+    All trees share the same orientation, so every transform is a pure
+    translation — the simplest nontrivial forest.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("brick dimensions must be positive")
+
+    def vid(i, j, k):
+        return (k * (ny + 1) + j) * (nx + 1) + i
+
+    verts = np.array(
+        [
+            (i, j, k)
+            for k in range(nz + 1)
+            for j in range(ny + 1)
+            for i in range(nx + 1)
+        ],
+        dtype=np.float64,
+    )
+    trees = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                trees.append(
+                    [
+                        vid(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1))
+                        for c in range(8)
+                    ]
+                )
+    return Connectivity(verts, np.array(trees, dtype=np.int64))

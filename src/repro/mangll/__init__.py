@@ -1,0 +1,19 @@
+"""MANGLL: high-order nodal DG on hexahedral spectral elements (Sec. VII)."""
+
+from .dg import DGAdvection, solid_body_rotation
+from .lgl import diff_matrix, lagrange_basis_at, lagrange_matrix, lgl_nodes
+from .tensor import DerivativeKernel, matrix_flops, tensor_flops
+from .transfer import dg_transfer
+
+__all__ = [
+    "DGAdvection",
+    "solid_body_rotation",
+    "lgl_nodes",
+    "diff_matrix",
+    "lagrange_matrix",
+    "lagrange_basis_at",
+    "DerivativeKernel",
+    "matrix_flops",
+    "tensor_flops",
+    "dg_transfer",
+]

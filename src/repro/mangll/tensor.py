@@ -1,0 +1,87 @@
+"""Matrix-based vs tensor-product element derivative kernels.
+
+Section VII analyzes two implementations of the reference-space gradient
+of a nodal field on a ``(p+1)^3`` spectral element:
+
+- **matrix-based**: three precomputed dense ``(p+1)^3 x (p+1)^3``
+  matrices, applied as large matrix-matrix multiplies across all elements
+  — ``6 (p+1)^6`` flops per element, extremely cache/BLAS friendly;
+- **tensor-product**: exploit the Kronecker structure and contract the 1-D
+  differentiation matrix along each axis — ``6 (p+1)^4`` flops per
+  element, asymptotically optimal but smaller matrices.
+
+The crossover order between the two on a given machine is exactly the
+experiment reported for Ranger (between p = 2 and p = 4); the benchmark
+``benchmarks/bench_sec7_dg_kernels.py`` reproduces it on this host.
+
+Both kernels return ``(du/dr, du/ds, du/dt)`` in reference coordinates;
+the DG solver composes them with metric terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lgl import diff_matrix, lgl_nodes
+
+__all__ = ["DerivativeKernel", "matrix_flops", "tensor_flops"]
+
+
+def matrix_flops(p: int) -> int:
+    """Flops per element for the matrix-based gradient: 6 (p+1)^6."""
+    return 6 * (p + 1) ** 6
+
+
+def tensor_flops(p: int) -> int:
+    """Flops per element for the tensor-product gradient: 6 (p+1)^4."""
+    return 6 * (p + 1) ** 4
+
+
+class DerivativeKernel:
+    """Reference-space gradient on batches of spectral elements.
+
+    Node ordering within an element is ``u[..., k, j, i]`` flattened C-style
+    (i fastest along r).
+    """
+
+    def __init__(self, p: int):
+        self.p = p
+        self.n = p + 1
+        self.nodes, self.weights = lgl_nodes(p)
+        self.D = diff_matrix(self.nodes)  # (n, n)
+        n = self.n
+        # dense 3-D derivative matrices for the matrix-based variant
+        I = np.eye(n)
+        self.Dr_full = np.kron(np.kron(I, I), self.D)
+        self.Ds_full = np.kron(np.kron(I, self.D), I)
+        self.Dt_full = np.kron(np.kron(self.D, I), I)
+
+    # -- variants ------------------------------------------------------------
+
+    def gradient_matrix(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Matrix-based: ``u`` is (ne, n^3); three dense matmuls."""
+        return (u @ self.Dr_full.T, u @ self.Ds_full.T, u @ self.Dt_full.T)
+
+    def gradient_tensor(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Tensor-product: contract D along each axis of (ne, n, n, n)."""
+        ne = u.shape[0]
+        n = self.n
+        v = u.reshape(ne, n, n, n)  # [e, t, s, r]
+        dr = np.einsum("ab,etsb->etsa", self.D, v).reshape(ne, -1)
+        ds = np.einsum("ab,etbr->etar", self.D, v).reshape(ne, -1)
+        dt = np.einsum("ab,ebsr->easr", self.D, v).reshape(ne, -1)
+        return dr, ds, dt
+
+    def gradient(self, u: np.ndarray, variant: str = "tensor"):
+        if variant == "tensor":
+            return self.gradient_tensor(u)
+        if variant == "matrix":
+            return self.gradient_matrix(u)
+        raise ValueError(f"unknown variant {variant!r}")
+
+    def flops(self, variant: str, n_elements: int) -> int:
+        if variant == "tensor":
+            return tensor_flops(self.p) * n_elements
+        if variant == "matrix":
+            return matrix_flops(self.p) * n_elements
+        raise ValueError(f"unknown variant {variant!r}")

@@ -1,0 +1,120 @@
+"""DG field transfer between nested forests (MANGLL's INTERPOLATEFIELDS).
+
+When the forest is adapted, the elementwise polynomial solution must move
+to the new element set:
+
+- **refinement**: the child element is a sub-box of its parent, so the
+  parent polynomial is *evaluated* at the child's LGL nodes — exact (the
+  embedding of the polynomial space);
+- **coarsening**: each new coarse node samples the value of whichever old
+  child element contains it (nodal injection, the standard choice for
+  collocation DG);
+- **unchanged** elements copy their values.
+
+Because both element boxes live in the same tree and are axis-aligned,
+the evaluation operator factorizes into three 1-D Lagrange matrices
+(Kronecker structure), one per axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..octree import morton_encode
+from .lgl import lagrange_basis_at
+
+__all__ = ["dg_transfer"]
+
+
+def _eval_matrix(kern, scale: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """(n^3, n^3) evaluation operator from an old element's nodal values
+    to points at ``ref_new`` per axis, where the new element's reference
+    coordinate r maps into the old element as ``scale * r + shift``."""
+    g = kern.nodes
+    mats = []
+    for a in range(3):
+        pts = scale[a] * g + shift[a]
+        mats.append(lagrange_basis_at(g, pts))
+    # node index = (z * n + y) * n + x  ->  kron(Bz, By, Bx)
+    return np.kron(np.kron(mats[2], mats[1]), mats[0])
+
+
+def dg_transfer(dg_old, u_old: np.ndarray, dg_new) -> np.ndarray:
+    """Transfer a nodal DG field between two DGAdvection discretizations
+    on nested forests of the same connectivity and equal order.
+
+    Exact for refinement; nodal injection for coarsening.
+    """
+    if dg_old.p != dg_new.p:
+        raise ValueError("transfer requires equal polynomial order")
+    if dg_old.conn is not dg_new.conn and dg_old.conn.n_trees != dg_new.conn.n_trees:
+        raise ValueError("transfer requires the same connectivity")
+    kern = dg_new.kern
+    n3 = dg_new.n3
+    u_old = np.asarray(u_old, dtype=np.float64).reshape(dg_old.ne, dg_old.n3)
+    out = np.empty((dg_new.ne, n3))
+
+    # old element lookup per tree: sorted anchor keys
+    old_tree_ids = dg_old.tree_ids
+    old_keys = dg_old.octs.keys()
+
+    # cache evaluation operators by (level difference, child position)
+    cache: dict[tuple, np.ndarray] = {}
+
+    g = kern.nodes
+    for e2 in range(dg_new.ne):
+        t = int(dg_new.tree_ids[e2])
+        a2 = np.array([dg_new.octs.x[e2], dg_new.octs.y[e2], dg_new.octs.z[e2]])
+        h2 = int(dg_new.octs.lengths()[e2])
+        l2 = int(dg_new.octs.level[e2])
+        # find the old leaf containing the new element's center
+        ck = morton_encode(
+            np.array([a2[0] + h2 // 2]), np.array([a2[1] + h2 // 2]),
+            np.array([a2[2] + h2 // 2]),
+        )
+        sel = old_tree_ids == t
+        keys_t = old_keys[sel]
+        base = np.flatnonzero(sel)[0]
+        e1 = base + int(np.searchsorted(keys_t, ck[0], side="right") - 1)
+        l1 = int(dg_old.octs.level[e1])
+        h1 = int(dg_old.octs.lengths()[e1])
+        a1 = np.array([dg_old.octs.x[e1], dg_old.octs.y[e1], dg_old.octs.z[e1]])
+
+        if l1 == l2:
+            out[e2] = u_old[e1]
+        elif l1 < l2:
+            # refinement: evaluate the parent polynomial on the child box
+            ratio = h2 / h1
+            shift = (2.0 * (a2 - a1) + h2) / h1 - 1.0
+            key = (l2 - l1, tuple(((a2 - a1) // h2).tolist()))
+            M = cache.get(key)
+            if M is None:
+                M = _eval_matrix(kern, np.full(3, ratio), shift)
+                cache[key] = M
+            out[e2] = M @ u_old[e1]
+        else:
+            # coarsening: sample each new node from the old child that
+            # contains it
+            vals = np.empty(n3)
+            # new node tree coordinates
+            T, S, R = np.meshgrid(g, g, g, indexing="ij")
+            ref = np.stack([R.ravel(), S.ravel(), T.ravel()], axis=1)
+            pts = a2 + (ref + 1.0) * 0.5 * h2  # float tree coords
+            pint = np.minimum(pts.astype(np.int64), a2 + h2 - 1)
+            pk = morton_encode(pint[:, 0], pint[:, 1], pint[:, 2])
+            eos = base + (np.searchsorted(keys_t, pk, side="right") - 1)
+            for eo in np.unique(eos):
+                m = eos == eo
+                ho = int(dg_old.octs.lengths()[eo])
+                ao = np.array(
+                    [dg_old.octs.x[eo], dg_old.octs.y[eo], dg_old.octs.z[eo]]
+                )
+                loc = 2.0 * (pts[m] - ao) / ho - 1.0
+                loc = np.clip(loc, -1.0, 1.0)
+                Bx = lagrange_basis_at(g, loc[:, 0])
+                By = lagrange_basis_at(g, loc[:, 1])
+                Bz = lagrange_basis_at(g, loc[:, 2])
+                uo = u_old[eo].reshape(kern.n, kern.n, kern.n)
+                vals[m] = np.einsum("ma,mb,mc,abc->m", Bz, By, Bx, uo)
+            out[e2] = vals
+    return out.ravel()

@@ -1,0 +1,20 @@
+"""Mesh layer: EXTRACTMESH, INTERPOLATEFIELDS, TRANSFERFIELDS, MARKELEMENTS.
+
+Builds hexahedral finite element meshes (with hanging-node constraints and
+ghost layers) from octrees, and implements the field-transfer operations of
+the Figure-4 adaptation pipeline.
+"""
+
+from .extract import Mesh, extract_mesh, extract_submesh, node_keys
+from .fields import interpolate_fields, interpolate_many
+from .vtk import write_vtk
+
+__all__ = [
+    "Mesh",
+    "extract_mesh",
+    "extract_submesh",
+    "node_keys",
+    "interpolate_fields",
+    "interpolate_many",
+    "write_vtk",
+]

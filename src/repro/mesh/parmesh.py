@@ -1,0 +1,305 @@
+"""Distributed mesh extraction (parallel EXTRACTMESH) and field exchange.
+
+Implements the parallel half of Section IV-B's EXTRACTMESH: each rank
+extracts a mesh from its own leaves plus one *ghost layer* (every remote
+leaf adjacent to a local leaf through a face, edge, or corner), computes a
+consistent global numbering of independent dofs, and sets up the
+communication pattern that the PDE solver uses:
+
+- **node ownership**: a node belongs to the rank owning the first element
+  (in global Morton order) that touches it — computable locally thanks to
+  the ghost layer;
+- **sum-exchange** (``exchange_sum``): add per-rank assembly contributions
+  at shared nodes and redistribute the totals (the FEM ghost update);
+- **parallel INTERPOLATEFIELDS** (:func:`par_interpolate_at`): point
+  evaluations routed to owners along the space-filling curve.
+
+Everything is bulk-synchronous over :class:`~repro.parallel.SimComm`
+alltoalls, exactly the communication structure the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..octree import OctantArray, ROOT_LEN, morton_encode
+from ..octree.partree import ParTree, owners_of_keys, partition_markers
+from ..parallel import SimComm
+from .extract import Mesh, extract_submesh, node_keys
+
+__all__ = ["ParMesh", "extract_parmesh", "collect_ghosts", "par_interpolate_at"]
+
+
+def collect_ghosts(pt: ParTree) -> tuple[OctantArray, np.ndarray]:
+    """Gather the ghost layer: all remote leaves adjacent (26-connectivity)
+    to local leaves.
+
+    Requires a fully (corner-)balanced tree so that sampling the 8
+    child-centers of every same-size neighbor region finds every adjacent
+    leaf.  Returns ``(ghosts, ghost_owner_ranks)``, ghosts sorted and
+    deduplicated.
+    """
+    comm = pt.comm
+    local = pt.local
+    markers = partition_markers(comm, local)
+    samples = []
+    if len(local):
+        h = local.lengths()
+        q = h // 4  # child-center offsets within the neighbor region
+        from ..octree.octants import DIRECTIONS
+
+        for d in DIRECTIONS:
+            nx, ny, nz, ok = local.neighbor_anchors(d)
+            if not ok.any():
+                continue
+            bx, by, bz = nx[ok], ny[ok], nz[ok]
+            hh = h[ok]
+            qq = q[ok]
+            for cx in (1, 3):
+                for cy in (1, 3):
+                    for cz in (1, 3):
+                        samples.append(
+                            morton_encode(
+                                bx + cx * qq, by + cy * qq, bz + cz * qq
+                            )
+                        )
+    pkeys = np.unique(np.concatenate(samples)) if samples else np.zeros(0, dtype=np.uint64)
+    owners = owners_of_keys(markers, pkeys)
+    remote = owners != comm.rank
+    sendbufs = [pkeys[remote & (owners == r)] for r in range(comm.size)]
+    recv = comm.alltoall(sendbufs)
+    # answer queries: containing local leaf of each key
+    replies = []
+    for buf in recv:
+        if len(buf) == 0:
+            replies.append(np.zeros((0, 4), dtype=np.int64))
+            continue
+        idx = np.unique(np.searchsorted(local.keys(), buf, side="right") - 1)
+        out = np.empty((len(idx), 4), dtype=np.int64)
+        out[:, 0] = local.x[idx]
+        out[:, 1] = local.y[idx]
+        out[:, 2] = local.z[idx]
+        out[:, 3] = local.level[idx]
+        replies.append(out)
+    got = comm.alltoall(replies)
+    parts = []
+    owners_out = []
+    for r, buf in enumerate(got):
+        if len(buf):
+            parts.append(buf)
+            owners_out.append(np.full(len(buf), r, dtype=np.int64))
+    if not parts:
+        return OctantArray.empty(), np.zeros(0, dtype=np.int64)
+    blk = np.concatenate(parts, axis=0)
+    own = np.concatenate(owners_out)
+    ghosts = OctantArray(blk[:, 0], blk[:, 1], blk[:, 2], blk[:, 3])
+    # dedup (an octant may answer queries from several directions)
+    order = np.lexsort((ghosts.level, ghosts.keys()))
+    ghosts = ghosts[order]
+    own = own[order]
+    keep = np.ones(len(ghosts), dtype=bool)
+    keep[1:] = ghosts.keys()[1:] != ghosts.keys()[:-1]
+    return ghosts[keep], own[keep]
+
+
+@dataclass
+class ParMesh:
+    """One rank's view of the distributed mesh.
+
+    The mesh spans the union of owned and ghost elements; arrays indexed
+    by "node" refer to this union mesh's nodes.
+    """
+
+    comm: SimComm
+    mesh: Mesh                 # union (local + ghost) submesh
+    owned_elements: np.ndarray  # mask over union elements
+    node_owner: np.ndarray      # owning rank per union-mesh node
+    active: np.ndarray          # independent dofs touched by owned elements
+    global_dof: np.ndarray      # global id per independent dof (-1 inactive)
+    n_global: int               # global number of independent dofs
+    # exchange plan
+    send_plan: list = field(default_factory=list)   # per rank: my dof idx to send
+    serve_plan: list = field(default_factory=list)  # per rank: my dof idx they reference
+
+    @property
+    def n_owned_elements(self) -> int:
+        return int(self.owned_elements.sum())
+
+    def global_element_count(self) -> int:
+        return self.comm.allreduce(self.n_owned_elements)
+
+    # -- communication -----------------------------------------------------------
+
+    def exchange_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum per-rank contributions at shared independent dofs.
+
+        ``values`` is over independent dofs of the union mesh (entries at
+        inactive dofs are ignored).  Returns the globally assembled values
+        at all active dofs (inactive entries zeroed).
+        """
+        comm = self.comm
+        # 1. send my contributions at dofs owned by others to their owner
+        out = [values[idx] for idx in self.send_plan]
+        got = comm.alltoall(out)
+        acc = values.copy()
+        acc[~self.active] = 0.0
+        for r, buf in enumerate(got):
+            if len(buf):
+                np.add.at(acc, self.serve_plan[r], buf)
+        # 2. owners return the assembled totals
+        back = comm.alltoall([acc[self.serve_plan[r]] for r in range(comm.size)])
+        for r, buf in enumerate(back):
+            if len(buf):
+                acc[self.send_plan[r]] = buf
+        return acc
+
+    def consistent(self, values: np.ndarray) -> np.ndarray:
+        """Overwrite non-owned active dofs with the owner's value."""
+        comm = self.comm
+        back = comm.alltoall([values[self.serve_plan[r]] for r in range(comm.size)])
+        out = values.copy()
+        for r, buf in enumerate(back):
+            if len(buf):
+                out[self.send_plan[r]] = buf
+        return out
+
+    def gather_global(self, values: np.ndarray) -> np.ndarray:
+        """Assemble the full global dof vector on every rank (testing)."""
+        mine = self.node_owner[self.mesh.indep_nodes] == self.comm.rank
+        gids = self.global_dof[mine]
+        vals = values[mine]
+        parts = self.comm.allgather(np.stack([gids.astype(np.float64), vals], axis=1))
+        out = np.zeros(self.n_global)
+        for p in parts:
+            if len(p):
+                out[p[:, 0].astype(np.int64)] = p[:, 1]
+        return out
+
+
+def extract_parmesh(pt: ParTree, domain=(1.0, 1.0, 1.0)) -> ParMesh:
+    """Parallel EXTRACTMESH: ghost layer, union submesh, node ownership,
+    global numbering, and the shared-dof exchange plan."""
+    comm = pt.comm
+    ghosts, ghost_owner = collect_ghosts(pt)
+    # union, sorted by Morton key; track ownership
+    union = OctantArray.concat([pt.local, ghosts])
+    owner_elem = np.concatenate(
+        [np.full(len(pt.local), comm.rank, dtype=np.int64), ghost_owner]
+    )
+    order = np.lexsort((union.level, union.keys()))
+    union = union[order]
+    owner_elem = owner_elem[order]
+    owned_mask = owner_elem == comm.rank
+
+    mesh = extract_submesh(union, domain)
+
+    # node ownership: the rank whose leaf-key interval contains the node's
+    # (clamped) position — i.e. the owner of the leaf the node sits on the
+    # corner of, in the Morton sense.  Deterministic, globally consistent,
+    # and computable locally; the owning leaf touches the node, so the
+    # owner always has the node in its own (active) mesh.
+    markers = partition_markers(comm, pt.local)
+    clamped = np.minimum(mesh.node_coords_int, ROOT_LEN - 1)
+    node_owner = owners_of_keys(
+        markers, morton_encode(clamped[:, 0], clamped[:, 1], clamped[:, 2])
+    )
+
+    # active independent dofs: touched by at least one owned element
+    indep = mesh.indep_nodes
+    touched = np.zeros(mesh.n_nodes, dtype=bool)
+    touched[mesh.element_nodes[owned_mask].ravel()] = True
+    # hanging nodes activate their parents
+    hang_touched = np.flatnonzero(touched & mesh.hanging)
+    if len(hang_touched):
+        rows = mesh.Z[hang_touched]
+        touched[indep[rows.indices]] = True
+    active = touched[indep]
+
+    # global numbering of owned active dofs
+    dof_owner = node_owner[indep]
+    owned_dofs = active & (dof_owner == comm.rank)
+    n_owned = int(owned_dofs.sum())
+    offset = comm.exscan(n_owned)
+    n_global = comm.allreduce(n_owned)
+    global_dof = np.full(len(indep), -1, dtype=np.int64)
+    global_dof[owned_dofs] = offset + np.arange(n_owned)
+
+    # handshake: request ids of active dofs owned elsewhere, keyed by the
+    # node coordinate key (globally unique)
+    nkeys = node_keys(mesh.node_coords_int[indep])
+    reqs = []
+    req_idx = []
+    for r in range(comm.size):
+        sel = np.flatnonzero(active & (dof_owner == r) & (r != comm.rank))
+        reqs.append(nkeys[sel])
+        req_idx.append(sel)
+    got = comm.alltoall(reqs)
+    # serve: map requested keys to my dof indices
+    sorter = np.argsort(nkeys)
+    serve_plan = []
+    for r, buf in enumerate(got):
+        if len(buf) == 0:
+            serve_plan.append(np.zeros(0, dtype=np.int64))
+            continue
+        pos = np.searchsorted(nkeys[sorter], buf)
+        idx = sorter[pos]
+        if not np.array_equal(nkeys[idx], buf):
+            raise AssertionError("requested shared dof not found on owner")
+        serve_plan.append(idx)
+    replies = comm.alltoall([global_dof[serve_plan[r]] for r in range(comm.size)])
+    for r, buf in enumerate(replies):
+        if len(buf):
+            if np.any(buf < 0):
+                raise AssertionError("owner returned unnumbered dof")
+            global_dof[req_idx[r]] = buf
+
+    return ParMesh(
+        comm=comm,
+        mesh=mesh,
+        owned_elements=owned_mask,
+        node_owner=node_owner,
+        active=active,
+        global_dof=global_dof,
+        n_global=n_global,
+        send_plan=req_idx,
+        serve_plan=serve_plan,
+    )
+
+
+def par_interpolate_at(
+    pm: ParMesh, markers: np.ndarray, u_full: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Parallel INTERPOLATEFIELDS: evaluate this rank's FE field queries at
+    arbitrary physical points, routing each query to the rank whose leaf
+    range contains it (``markers`` from the *source* tree's partition).
+
+    ``u_full`` is the full node vector of ``pm.mesh``.  Returns one value
+    per query point.
+    """
+    comm = pm.comm
+    pts = np.asarray(points, dtype=np.float64)
+    unit = np.clip(pts / pm.mesh.domain, 0.0, 1.0 - 1e-15)
+    pint = (unit * ROOT_LEN).astype(np.int64)
+    pkeys = morton_encode(pint[:, 0], pint[:, 1], pint[:, 2])
+    owners = owners_of_keys(markers, pkeys)
+    vals = np.empty(len(pts))
+    send = []
+    send_idx = []
+    for r in range(comm.size):
+        sel = np.flatnonzero(owners == r)
+        send.append(pts[sel])
+        send_idx.append(sel)
+    got = comm.alltoall(send)
+    replies = []
+    for buf in got:
+        if len(buf) == 0:
+            replies.append(np.zeros(0))
+            continue
+        replies.append(pm.mesh.interpolate_at(u_full, buf))
+    back = comm.alltoall(replies)
+    for r, buf in enumerate(back):
+        if len(buf):
+            vals[send_idx[r]] = buf
+    return vals

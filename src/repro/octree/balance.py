@@ -1,0 +1,93 @@
+"""2:1 balance enforcement (serial BALANCETREE).
+
+The paper maintains a *global 2-to-1 balance condition*: edge lengths of
+face- and edge-neighboring elements may differ by at most a factor of two.
+This module enforces it by ripple propagation — each round marks every
+leaf that is more than one level coarser than some neighbor, refines the
+marked set by one level, and repeats until a fixed point.  The number of
+rounds is bounded by the number of refinement levels, mirroring the
+communication-round bound of the parallel algorithm.
+
+The neighbor test uses the Morton interval structure: the center of the
+same-size neighbor region in direction ``d`` lies inside exactly one leaf
+(completeness), found by binary search; if that leaf is at least two
+levels coarser it violates balance and must refine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linear import LinearOctree
+from .octants import directions_for
+
+__all__ = ["balance", "is_balanced", "balance_violations", "BalanceResult"]
+
+
+@dataclass
+class BalanceResult:
+    """Outcome of BALANCETREE: the balanced tree plus bookkeeping used by
+    the Figure-5 reproduction ('Added by BalanceTree')."""
+
+    tree: LinearOctree
+    leaves_added: int
+    rounds: int
+
+
+def _violating_leaf_marks(tree: LinearOctree, dirs: np.ndarray) -> np.ndarray:
+    """Mark leaves that are >= 2 levels coarser than a neighboring leaf."""
+    leaves = tree.leaves
+    h = leaves.lengths()
+    mark = np.zeros(len(tree), dtype=bool)
+    levels = tree.levels.astype(np.int64)
+    for d in dirs:
+        nx, ny, nz, ok = leaves.neighbor_anchors(d)
+        if not ok.any():
+            continue
+        px = nx[ok] + h[ok] // 2
+        py = ny[ok] + h[ok] // 2
+        pz = nz[ok] + h[ok] // 2
+        idx = tree.find_containing(px, py, pz)
+        viol = levels[idx] < levels[ok] - 1
+        mark[idx[viol]] = True
+    return mark
+
+
+def balance(
+    tree: LinearOctree, connectivity: str = "edge", max_rounds: int | None = None
+) -> BalanceResult:
+    """Refine ``tree`` minimally until it satisfies 2:1 balance.
+
+    Parameters
+    ----------
+    tree:
+        A complete linear octree.
+    connectivity:
+        ``"face"``, ``"edge"`` (paper default) or ``"corner"``.
+    """
+    dirs = directions_for(connectivity)
+    n0 = len(tree)
+    rounds = 0
+    limit = max_rounds if max_rounds is not None else 64
+    while rounds < limit:
+        mark = _violating_leaf_marks(tree, dirs)
+        if not mark.any():
+            break
+        tree = tree.refine(mark)
+        rounds += 1
+    else:
+        raise RuntimeError("balance did not converge")
+    return BalanceResult(tree=tree, leaves_added=len(tree) - n0, rounds=rounds)
+
+
+def balance_violations(tree: LinearOctree, connectivity: str = "edge") -> int:
+    """Number of leaves violating the 2:1 condition (0 when balanced)."""
+    dirs = directions_for(connectivity)
+    return int(_violating_leaf_marks(tree, dirs).sum())
+
+
+def is_balanced(tree: LinearOctree, connectivity: str = "edge") -> bool:
+    """Check the 2:1 balance condition of a complete tree."""
+    return balance_violations(tree, connectivity) == 0

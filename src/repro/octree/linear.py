@@ -1,0 +1,215 @@
+"""Linear octrees: complete, sorted leaf sets.
+
+The paper's octrees are stored *linearly* — only the leaves, sorted along
+the Morton space-filling curve (Figure 3).  Parent/child relations are
+implicit in the keys.  A linear octree over the root domain is *complete*
+when its leaves tile the root exactly, which is equivalent to the sorted
+key intervals ``[key_i, key_i + range_i)`` partitioning
+``[0, 8**MAX_LEVEL)`` without gaps or overlaps.
+
+:class:`LinearOctree` maintains this invariant through refinement and
+coarsening, and supports the point-location queries (``find_containing``)
+that the balance and mesh-extraction algorithms are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .morton import MAX_LEVEL, key_range_size, morton_encode
+from .octants import OctantArray
+
+__all__ = ["LinearOctree", "complete_from"]
+
+
+def complete_from(seeds: OctantArray) -> "LinearOctree":
+    """Build the minimal complete octree containing the given octants as
+    leaves (p4est's ``complete`` operation, used to seed trees from
+    scattered refinement requests).
+
+    ``seeds`` must be pairwise non-overlapping.  Starting from the root,
+    every leaf that strictly contains a deeper seed is split; the result
+    is complete, contains every seed as a leaf, and is minimal.
+    """
+    if len(seeds) == 0:
+        return LinearOctree.uniform(0)
+    seeds = seeds.sort()
+    skeys = seeds.keys()
+    send = skeys + key_range_size(seeds.level)
+    # overlap check: sorted intervals must be disjoint
+    if np.any(send[:-1] > skeys[1:]):
+        raise ValueError("seed octants overlap")
+    tree = LinearOctree(OctantArray.root(), presorted=True)
+    for _ in range(MAX_LEVEL + 1):
+        lkeys = tree.keys
+        lend = lkeys + key_range_size(tree.levels)
+        # for each leaf: is there a seed strictly inside it (deeper level)?
+        lo = np.searchsorted(skeys, lkeys, side="left")
+        hi = np.searchsorted(skeys, lend, side="left")
+        has_seed = hi > lo
+        safe_lo = np.clip(lo, 0, len(seeds) - 1)
+        deeper = seeds.level[safe_lo].astype(np.int64) > tree.levels.astype(np.int64)
+        # splitting is needed when the first contained seed is deeper than
+        # the leaf; when the seed *equals* the leaf, it is already a leaf
+        split = has_seed & deeper
+        if not split.any():
+            return tree
+        tree = tree.refine(split)
+    raise AssertionError("complete_from did not terminate")
+
+_TOTAL_KEYS = np.uint64(1) << np.uint64(3 * MAX_LEVEL)
+
+
+class LinearOctree:
+    """A complete linear octree (sorted leaf set over the whole root).
+
+    Parameters
+    ----------
+    leaves:
+        The leaf octants.  Sorted on construction; completeness can be
+        checked with :meth:`is_complete` (constructors preserve it).
+    """
+
+    def __init__(self, leaves: OctantArray, *, presorted: bool = False):
+        self.leaves = leaves if presorted else leaves.sort()
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, level: int) -> "LinearOctree":
+        """Uniformly refined tree with ``8**level`` leaves."""
+        return cls(OctantArray.uniform(level), presorted=True)
+
+    # -- basic properties ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def __repr__(self) -> str:
+        return f"LinearOctree({self.leaves!r})"
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self.leaves.keys()
+
+    @property
+    def levels(self) -> np.ndarray:
+        return self.leaves.level
+
+    def is_complete(self) -> bool:
+        """Do the leaves tile the root domain exactly?"""
+        if len(self) == 0:
+            return False
+        start, end = self.leaves.key_ranges()
+        if start[0] != 0 or end[-1] != _TOTAL_KEYS:
+            return False
+        return bool(np.all(end[:-1] == start[1:]))
+
+    def level_histogram(self) -> dict[int, int]:
+        """Number of leaves per refinement level (Figure 5, right panel)."""
+        lv, counts = np.unique(self.levels, return_counts=True)
+        return {int(a): int(b) for a, b in zip(lv, counts)}
+
+    # -- queries ------------------------------------------------------------------
+
+    def find_containing_keys(self, point_keys: np.ndarray) -> np.ndarray:
+        """Index of the leaf containing each finest-level Morton key.
+
+        Relies on completeness: every key in ``[0, 8**MAX_LEVEL)`` lies in
+        exactly one leaf's key interval.
+        """
+        point_keys = np.asarray(point_keys, dtype=np.uint64)
+        idx = np.searchsorted(self.keys, point_keys, side="right") - 1
+        return idx
+
+    def find_containing(self, px, py, pz) -> np.ndarray:
+        """Index of the leaf containing each integer point."""
+        return self.find_containing_keys(morton_encode(px, py, pz))
+
+    def contains_points(self, idx: np.ndarray, pkeys: np.ndarray) -> np.ndarray:
+        """Verify that leaf ``idx`` actually covers key ``pkeys`` (used on
+        partial/distributed trees where completeness is only global)."""
+        ok = idx >= 0
+        safe = np.where(ok, idx, 0)
+        start = self.keys[safe]
+        end = start + key_range_size(self.levels[safe])
+        return ok & (pkeys >= start) & (pkeys < end)
+
+    # -- adaptation ------------------------------------------------------------------
+
+    def refine(self, mask: np.ndarray) -> "LinearOctree":
+        """Replace each marked leaf by its 8 children.
+
+        The result stays sorted and complete: children of a leaf are
+        contiguous in Morton order exactly where the parent was.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError("mask length mismatch")
+        if not mask.any():
+            return self
+        kept = self.leaves[~mask]
+        refined = self.leaves[mask].children()
+        return LinearOctree(OctantArray.concat([kept, refined]))
+
+    def coarsen(self, mask: np.ndarray) -> tuple["LinearOctree", int]:
+        """Replace complete families of 8 marked sibling leaves by their
+        parent.  Returns the new tree and the number of families coarsened.
+
+        Families are only coarsened when *all eight* siblings are leaves
+        and marked (same rule as COARSENTREE in the paper).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError("mask length mismatch")
+        coarsenable = mask & (self.levels > 0)
+        if not coarsenable.any():
+            return self, 0
+        # In a sorted complete tree, the 8 siblings of a family occupy 8
+        # consecutive positions.  Find positions i where leaves[i..i+8) are
+        # all marked, at equal level, and share a parent anchor.
+        n = len(self)
+        keys = self.keys
+        levels = self.levels.astype(np.int64)
+        # Parent key: clear the low 3*(MAX_LEVEL - level + 1) bits.
+        shift = (np.uint64(3) * (np.uint64(MAX_LEVEL) - levels.astype(np.uint64) + np.uint64(1)))
+        parent_key = (keys >> shift) << shift
+        # Candidate family starts: first child (sibling id 0).
+        sib = self.leaves.sibling_ids()
+        starts = np.flatnonzero((sib == 0) & coarsenable & (np.arange(n) + 8 <= n))
+        if len(starts) == 0:
+            return self, 0
+        offs = np.arange(8)
+        block = starts[:, None] + offs[None, :]
+        good = np.all(coarsenable[block], axis=1)
+        good &= np.all(levels[block] == levels[starts][:, None], axis=1)
+        good &= np.all(parent_key[block] == parent_key[starts][:, None], axis=1)
+        starts = starts[good]
+        if len(starts) == 0:
+            return self, 0
+        family_members = (starts[:, None] + offs[None, :]).ravel()
+        keep = np.ones(n, dtype=bool)
+        keep[family_members] = False
+        parents = self.leaves[starts].parents()
+        tree = LinearOctree(OctantArray.concat([self.leaves[keep], parents]))
+        return tree, len(starts)
+
+    def refine_by(self, flags: np.ndarray) -> "LinearOctree":
+        """Repeatedly refine until ``flags`` levels are reached: ``flags``
+        gives for each ORIGINAL leaf a target minimum level; convenience
+        used by tests and examples."""
+        tree = self
+        target = np.asarray(flags, dtype=np.int64)
+        # Re-evaluate the target by point lookup each round.
+        centers = (self.leaves.x + self.leaves.lengths() // 2,
+                   self.leaves.y + self.leaves.lengths() // 2,
+                   self.leaves.z + self.leaves.lengths() // 2)
+        for _ in range(MAX_LEVEL):
+            idx = np.searchsorted(tree.keys, morton_encode(*centers), side="right") - 1
+            want = np.zeros(len(tree), dtype=np.int64)
+            np.maximum.at(want, idx, target)
+            mask = tree.levels < want
+            if not mask.any():
+                break
+            tree = tree.refine(mask)
+        return tree

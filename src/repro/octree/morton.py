@@ -1,0 +1,107 @@
+"""Morton (z-order) space-filling curve encoding for octrees.
+
+ALPS orders the leaves of the distributed octree along a Morton space-
+filling curve (Section IV-A of the paper): a pre-order traversal of the
+octree in (z, y, x) triples.  The key property exploited everywhere is
+that the finest-level descendants of any octant occupy a *contiguous*
+range of Morton keys, so octant containment, ownership lookup across
+ranks, and partitioning all reduce to interval arithmetic on sorted
+``uint64`` key arrays.
+
+Coordinates are integers in ``[0, 2**MAX_LEVEL)`` — units of the finest
+possible cell, exactly as in p4est.  ``MAX_LEVEL = 21`` so a full 3-D key
+needs 63 bits and fits ``uint64``.
+
+All functions are vectorized over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_LEVEL",
+    "ROOT_LEN",
+    "morton_encode",
+    "morton_decode",
+    "spread3",
+    "compact3",
+    "key_range_size",
+    "octant_length",
+]
+
+#: Deepest supported refinement level; coordinates use 21 bits per axis.
+MAX_LEVEL = 21
+
+#: Side length of the root octant in finest-cell units (2**MAX_LEVEL).
+ROOT_LEN = 1 << MAX_LEVEL
+
+_M0 = np.uint64(0x1FFFFF)
+_M1 = np.uint64(0x1F00000000FFFF)
+_M2 = np.uint64(0x1F0000FF0000FF)
+_M3 = np.uint64(0x100F00F00F00F00F)
+_M4 = np.uint64(0x10C30C30C30C30C3)
+_M5 = np.uint64(0x1249249249249249)
+
+_U1 = np.uint64(1)
+_U2 = np.uint64(2)
+_U4 = np.uint64(4)
+_U8 = np.uint64(8)
+_U16 = np.uint64(16)
+_U32 = np.uint64(32)
+
+
+def spread3(v: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each value so bit ``i`` moves to ``3*i``."""
+    v = np.asarray(v).astype(np.uint64) & _M0
+    v = (v | (v << _U32)) & _M1
+    v = (v | (v << _U16)) & _M2
+    v = (v | (v << _U8)) & _M3
+    v = (v | (v << _U4)) & _M4
+    v = (v | (v << _U2)) & _M5
+    return v
+
+
+def compact3(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`spread3`: collect every third bit into the low 21."""
+    v = np.asarray(v).astype(np.uint64) & _M5
+    v = (v | (v >> _U2)) & _M4
+    v = (v | (v >> _U4)) & _M3
+    v = (v | (v >> _U8)) & _M2
+    v = (v | (v >> _U16)) & _M1
+    v = (v | (v >> _U32)) & _M0
+    return v
+
+
+def morton_encode(x, y, z) -> np.ndarray:
+    """Interleave integer coordinates into Morton keys.
+
+    ``x`` occupies the least significant bit of each triple, matching the
+    paper's (z, y, x) traversal order: z is the most significant axis.
+    """
+    return spread3(x) | (spread3(y) << _U1) | (spread3(z) << _U2)
+
+
+def morton_decode(key) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover integer coordinates from Morton keys."""
+    key = np.asarray(key).astype(np.uint64)
+    x = compact3(key)
+    y = compact3(key >> _U1)
+    z = compact3(key >> _U2)
+    return x.astype(np.int64), y.astype(np.int64), z.astype(np.int64)
+
+
+def octant_length(level) -> np.ndarray:
+    """Edge length in finest-cell units of an octant at ``level``."""
+    level = np.asarray(level, dtype=np.int64)
+    return np.int64(ROOT_LEN) >> level
+
+
+def key_range_size(level) -> np.ndarray:
+    """Number of finest-level Morton keys covered by an octant at ``level``.
+
+    An octant anchored at key ``k`` with level ``l`` covers exactly the
+    half-open key interval ``[k, k + key_range_size(l))``.
+    """
+    level = np.asarray(level, dtype=np.uint64)
+    return np.uint64(1) << (np.uint64(3) * (np.uint64(MAX_LEVEL) - level))

@@ -1,0 +1,307 @@
+"""Distributed linear octrees — the parallel ALPS tree functions.
+
+Each rank owns a contiguous segment of the global Morton-ordered leaf
+sequence (Figure 3).  The only global metadata any rank stores is one
+Morton key per rank — the *partition markers* — obtained by an
+``allgather``, exactly as described in Section IV-A ("the only global
+information that is required to be stored is one long integer per core").
+
+Implemented here, with the paper's names:
+
+- :func:`new_tree` — NEWTREE: every rank grows the coarse uniform tree
+  and prunes to its Morton segment (no communication).
+- :func:`refine_tree` / :func:`coarsen_tree` — completely local.
+- :func:`balance_tree` — BALANCETREE: parallel prioritized ripple
+  propagation; one communication round per propagated level.
+- :func:`partition_tree` — PARTITIONTREE: equal-count (or weighted)
+  repartition along the space-filling curve via all-to-all; returns the
+  routing plan that TRANSFERFIELDS reuses for element data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel import SimComm
+from .linear import LinearOctree
+from .morton import MAX_LEVEL, key_range_size, morton_encode
+from .octants import OctantArray, directions_for
+
+__all__ = [
+    "ParTree",
+    "new_tree",
+    "refine_tree",
+    "coarsen_tree",
+    "balance_tree",
+    "partition_tree",
+    "partition_markers",
+    "owners_of_keys",
+    "gather_tree",
+    "TransferPlan",
+]
+
+_TOTAL_KEYS = np.uint64(1) << np.uint64(3 * MAX_LEVEL)
+
+
+@dataclass
+class ParTree:
+    """One rank's view of the distributed octree."""
+
+    comm: SimComm
+    local: OctantArray  # sorted leaves of this rank's Morton segment
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self.local.keys()
+
+    @property
+    def levels(self) -> np.ndarray:
+        return self.local.level
+
+    def global_count(self) -> int:
+        return self.comm.allreduce(len(self.local))
+
+    def global_offset(self) -> int:
+        return self.comm.exscan(len(self.local))
+
+    def level_histogram(self) -> dict[int, int]:
+        """Global leaves-per-level counts (collective)."""
+        counts = np.zeros(MAX_LEVEL + 1, dtype=np.int64)
+        lv, c = np.unique(self.local.level, return_counts=True)
+        counts[lv.astype(np.int64)] = c
+        total = self.comm.allreduce(counts)
+        return {int(i): int(n) for i, n in enumerate(total) if n > 0}
+
+
+def partition_markers(comm: SimComm, local: OctantArray) -> np.ndarray:
+    """Allgather the partition boundary keys.
+
+    Returns ``m`` of length ``P + 1`` with ``m[0] = 0`` and
+    ``m[P] = 8**MAX_LEVEL``; rank ``r`` owns exactly the keys in
+    ``[m[r], m[r+1])``.  Ranks with no leaves own an empty interval.
+    """
+    first = int(local.keys()[0]) if len(local) else -1
+    firsts = comm.allgather(first)
+    p = comm.size
+    m = np.empty(p + 1, dtype=np.uint64)
+    m[p] = _TOTAL_KEYS
+    for r in range(p - 1, -1, -1):
+        m[r] = np.uint64(firsts[r]) if firsts[r] >= 0 else m[r + 1]
+    m[0] = np.uint64(0)
+    return m
+
+
+def owners_of_keys(markers: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Owning rank of each finest-level Morton key."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    return np.searchsorted(markers[1:-1], keys, side="right").astype(np.int64)
+
+
+def new_tree(comm: SimComm, coarse_level: int) -> ParTree:
+    """NEWTREE: build the uniform tree at ``coarse_level`` and keep this
+    rank's equal share of the Morton-ordered leaves (no communication)."""
+    full = OctantArray.uniform(coarse_level)
+    n = len(full)
+    base, rem = divmod(n, comm.size)
+    lo = comm.rank * base + min(comm.rank, rem)
+    hi = lo + base + (1 if comm.rank < rem else 0)
+    return ParTree(comm, full[lo:hi])
+
+
+def refine_tree(pt: ParTree, mask: np.ndarray) -> ParTree:
+    """REFINETREE: replace marked local leaves by their children (local)."""
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any():
+        return pt
+    kept = pt.local[~mask]
+    refined = pt.local[mask].children()
+    return ParTree(pt.comm, OctantArray.concat([kept, refined]).sort())
+
+
+def coarsen_tree(pt: ParTree, mask: np.ndarray) -> tuple[ParTree, int]:
+    """COARSENTREE: coarsen complete, fully-local families of 8 marked
+    siblings (the paper explicitly forbids coarsening families that span
+    ranks — 'a minor restriction')."""
+    lt = LinearOctree(pt.local, presorted=True)
+    new_lt, nfam = lt.coarsen(mask)
+    return ParTree(pt.comm, new_lt.leaves), nfam
+
+
+def _local_find(local: OctantArray, pkeys: np.ndarray) -> np.ndarray:
+    """Containing-leaf index among this rank's leaves; the caller routes
+    keys to owners first, so every query hits (asserted)."""
+    idx = np.searchsorted(local.keys(), pkeys, side="right") - 1
+    return idx
+
+
+def balance_tree(
+    pt: ParTree, connectivity: str = "edge", max_rounds: int = 64
+) -> tuple[ParTree, int, int]:
+    """BALANCETREE: parallel prioritized ripple propagation.
+
+    Each round: every leaf samples the centers of its same-size neighbor
+    regions; queries owned locally are answered locally, the rest are
+    routed to their owning rank with one all-to-all (this aggregation of
+    requests is the paper's communication buffering — rounds scale with
+    the number of refinement levels, not with the number of leaves).  A
+    leaf at least two levels coarser than a querying neighbor is refined.
+    Terminates when a global fixed point is reached.
+
+    Returns ``(tree, leaves_added, rounds)``.
+    """
+    comm = pt.comm
+    dirs = directions_for(connectivity)
+    local = pt.local
+    n0_global = comm.allreduce(len(local))
+    rounds = 0
+    while rounds < max_rounds:
+        markers = partition_markers(comm, local)
+        h = local.lengths()
+        levels = local.level.astype(np.int64)
+        all_pk = []
+        all_lv = []
+        for d in dirs:
+            nx, ny, nz, ok = local.neighbor_anchors(d)
+            if not ok.any():
+                continue
+            pk = morton_encode(nx[ok] + h[ok] // 2, ny[ok] + h[ok] // 2, nz[ok] + h[ok] // 2)
+            all_pk.append(pk)
+            all_lv.append(levels[ok])
+        if all_pk:
+            pkeys = np.concatenate(all_pk)
+            plevels = np.concatenate(all_lv)
+        else:
+            pkeys = np.zeros(0, dtype=np.uint64)
+            plevels = np.zeros(0, dtype=np.int64)
+        owners = owners_of_keys(markers, pkeys)
+        # Route queries: keep local ones, alltoall the rest.
+        sendbufs = []
+        for r in range(comm.size):
+            sel = owners == r
+            buf = np.empty((int(sel.sum()), 2), dtype=np.uint64)
+            buf[:, 0] = pkeys[sel]
+            buf[:, 1] = plevels[sel].astype(np.uint64)
+            sendbufs.append(buf)
+        recv = comm.alltoall(sendbufs)
+        mark = np.zeros(len(local), dtype=bool)
+        for buf in recv:
+            if len(buf) == 0:
+                continue
+            qk = buf[:, 0]
+            ql = buf[:, 1].astype(np.int64)
+            idx = _local_find(local, qk)
+            viol = local.level[idx].astype(np.int64) < ql - 1
+            mark[idx[viol]] = True
+        changed = comm.allreduce(bool(mark.any()), op="lor")
+        if mark.any():
+            kept = local[~mark]
+            refined = local[mark].children()
+            local = OctantArray.concat([kept, refined]).sort()
+        rounds += 1
+        if not changed:
+            break
+    else:
+        raise RuntimeError("parallel balance did not converge")
+    out = ParTree(comm, local)
+    added = comm.allreduce(len(local)) - n0_global
+    return out, added, rounds
+
+
+@dataclass
+class TransferPlan:
+    """Routing produced by PARTITIONTREE, reused by TRANSFERFIELDS.
+
+    ``send_slices[r] = (lo, hi)`` — the local element index range (in the
+    pre-partition Morton order) shipped to rank ``r``.  Because the global
+    Morton order is preserved, concatenating received blocks in rank order
+    yields data aligned with the post-partition local element order.
+    """
+
+    send_slices: list[tuple[int, int]]
+    n_new_local: int
+
+    def transfer(self, comm: SimComm, element_data: np.ndarray) -> np.ndarray:
+        """TRANSFERFIELDS for per-element data: route rows of
+        ``element_data`` (first axis = old local elements) to the new
+        owners and return the new local block."""
+        parts = [element_data[lo:hi] for lo, hi in self.send_slices]
+        recv = comm.alltoall(parts)
+        recv = [p for p in recv if len(p)]
+        if not recv:
+            return element_data[:0]
+        return np.concatenate(recv, axis=0)
+
+
+def partition_tree(
+    pt: ParTree, weights: np.ndarray | None = None
+) -> tuple[ParTree, TransferPlan]:
+    """PARTITIONTREE: repartition the space-filling curve for load balance.
+
+    With ``weights=None`` each rank receives an equal share of the global
+    leaf count; otherwise the curve is cut at equal cumulative weight.
+    Completely redistributes the tree with one all-to-all (the paper notes
+    no explicit penalty is placed on data movement).
+    """
+    comm = pt.comm
+    n_local = len(pt.local)
+    if weights is None:
+        offset, total = comm.global_offsets(n_local)
+        p = comm.size
+        base, rem = divmod(total, p)
+        # Destination of global index g.
+        tgt_starts = np.array(
+            [r * base + min(r, rem) for r in range(p + 1)], dtype=np.int64
+        )
+        gidx = offset + np.arange(n_local, dtype=np.int64)
+        dest = np.searchsorted(tgt_starts[1:], gidx, side="right")
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n_local,):
+            raise ValueError("weights length mismatch")
+        my_sum = w.sum()
+        prev = comm.exscan(my_sum)
+        total_w = comm.allreduce(my_sum)
+        cum = prev + np.cumsum(w) - w  # cumulative weight before each leaf
+        p = comm.size
+        cuts = total_w * np.arange(1, p, dtype=np.float64) / p
+        dest = np.searchsorted(cuts, cum, side="right")
+    # dest is nondecreasing; build contiguous slices per destination.
+    send_slices = []
+    for r in range(comm.size):
+        lo = int(np.searchsorted(dest, r, side="left"))
+        hi = int(np.searchsorted(dest, r, side="right"))
+        send_slices.append((lo, hi))
+    packed = np.empty((n_local, 4), dtype=np.int64)
+    packed[:, 0] = pt.local.x
+    packed[:, 1] = pt.local.y
+    packed[:, 2] = pt.local.z
+    packed[:, 3] = pt.local.level
+    recv = comm.alltoall([packed[lo:hi] for lo, hi in send_slices])
+    recv = [b for b in recv if len(b)]
+    if recv:
+        blk = np.concatenate(recv, axis=0)
+    else:
+        blk = packed[:0]
+    new_local = OctantArray(blk[:, 0], blk[:, 1], blk[:, 2], blk[:, 3])
+    plan = TransferPlan(send_slices=send_slices, n_new_local=len(new_local))
+    return ParTree(comm, new_local), plan
+
+
+def gather_tree(pt: ParTree) -> LinearOctree:
+    """Collect the full tree on every rank (verification/testing only)."""
+    comm = pt.comm
+    packed = np.empty((len(pt.local), 4), dtype=np.int64)
+    packed[:, 0] = pt.local.x
+    packed[:, 1] = pt.local.y
+    packed[:, 2] = pt.local.z
+    packed[:, 3] = pt.local.level
+    parts = comm.allgather(packed)
+    blk = np.concatenate([p for p in parts if len(p)], axis=0)
+    return LinearOctree(
+        OctantArray(blk[:, 0], blk[:, 1], blk[:, 2], blk[:, 3]), presorted=True
+    )

@@ -1,0 +1,28 @@
+"""Simulated-MPI SPMD substrate (substitute for Ranger + MPI).
+
+Public API:
+
+- :func:`run_spmd` / :func:`run_spmd_with_comms` — execute an SPMD kernel
+  on ``P`` simulated ranks (threads).
+- :class:`SimComm` — the MPI-like communicator handed to each rank.
+- :class:`CommStats` — per-rank communication/flop accounting.
+- :class:`MachineModel` / :data:`RANGER` — alpha-beta performance model
+  used to price measured counts at paper-scale core counts.
+"""
+
+from .machine import RANGER, MachineModel
+from .simcomm import SimComm, SimWorld, SpmdAbort, run_spmd, run_spmd_with_comms
+from .stats import CommStats, merge_stats, payload_nbytes
+
+__all__ = [
+    "RANGER",
+    "MachineModel",
+    "SimComm",
+    "SimWorld",
+    "SpmdAbort",
+    "run_spmd",
+    "run_spmd_with_comms",
+    "CommStats",
+    "merge_stats",
+    "payload_nbytes",
+]

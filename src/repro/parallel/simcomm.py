@@ -1,0 +1,317 @@
+"""In-process SPMD execution with an MPI-like communicator.
+
+The paper ran on Ranger with MPI; this module provides the substitute
+substrate: each simulated rank is a thread, and :class:`SimComm` exposes the
+subset of MPI used by ALPS/RHEA — point-to-point ``send``/``recv``,
+``allgather``, ``allreduce``, ``alltoall`` (and the vector variant),
+``exscan``, ``bcast``, and ``barrier``.  All algorithms in
+:mod:`repro.octree`, :mod:`repro.mesh` and :mod:`repro.solvers` are written
+SPMD-style against this interface, exactly as they would be against
+``mpi4py``; only the transport differs.
+
+Collectives are implemented with a shared slot array and a two-phase
+barrier (deposit / read) which is correct for bulk-synchronous programs.
+Every operation is tallied in :class:`~repro.parallel.stats.CommStats` so
+the machine model can price the communication at arbitrary core counts.
+
+Use :func:`run_spmd` to execute a rank function on ``P`` simulated ranks::
+
+    def kernel(comm, n):
+        local = np.arange(n) + comm.rank * n
+        total = comm.allreduce(local.sum())
+        return total
+
+    results = run_spmd(4, kernel, 10)   # list of 4 identical totals
+
+Exceptions raised by any rank abort the whole world (the barrier is broken
+so no thread hangs) and are re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+import numpy as np
+
+from .stats import CommStats, payload_nbytes
+
+__all__ = ["SimComm", "SimWorld", "run_spmd", "SpmdAbort"]
+
+
+class SpmdAbort(RuntimeError):
+    """Raised in surviving ranks when another rank failed."""
+
+
+_REDUCTIONS: dict[str, Callable] = {
+    "sum": lambda vals: _tree_sum(vals),
+    "min": lambda vals: min(vals) if not isinstance(vals[0], np.ndarray) else np.minimum.reduce(vals),
+    "max": lambda vals: max(vals) if not isinstance(vals[0], np.ndarray) else np.maximum.reduce(vals),
+    "prod": lambda vals: _tree_prod(vals),
+    "lor": lambda vals: any(vals),
+    "land": lambda vals: all(vals),
+}
+
+
+def _tree_sum(vals):
+    out = vals[0]
+    if isinstance(out, np.ndarray):
+        out = out.copy()
+        for v in vals[1:]:
+            out += v
+        return out
+    for v in vals[1:]:
+        out = out + v
+    return out
+
+
+def _tree_prod(vals):
+    out = vals[0]
+    for v in vals[1:]:
+        out = out * v
+    return out
+
+
+class SimWorld:
+    """Shared state for one SPMD execution: barrier, slots, mailboxes."""
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self._barrier = threading.Barrier(nranks)
+        self._slots: list[Any] = [None] * nranks
+        self._mail_lock = threading.Condition()
+        self._mail: dict[tuple[int, int, int], deque] = {}
+        self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
+
+    def abort(self, exc: BaseException) -> None:
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self._barrier.abort()
+        with self._mail_lock:
+            self._mail_lock.notify_all()
+
+    def wait_barrier(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise SpmdAbort("another rank aborted") from None
+
+
+class SimComm:
+    """MPI-like communicator bound to one simulated rank.
+
+    Attributes
+    ----------
+    rank, size:
+        This rank's index and the number of ranks in the world.
+    stats:
+        The per-rank :class:`CommStats` tally.
+    """
+
+    def __init__(self, world: SimWorld, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.nranks
+        self.stats = CommStats()
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Post a message; never blocks (buffered send)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid dest rank {dest}")
+        self.stats.record_p2p(payload_nbytes(obj))
+        w = self._world
+        with w._mail_lock:
+            w._mail.setdefault((self.rank, dest, tag), deque()).append(obj)
+            w._mail_lock.notify_all()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Block until a message from ``source`` with ``tag`` arrives."""
+        w = self._world
+        key = (source, self.rank, tag)
+        with w._mail_lock:
+            while True:
+                if w._error is not None:
+                    raise SpmdAbort("another rank aborted")
+                q = w._mail.get(key)
+                if q:
+                    return q.popleft()
+                w._mail_lock.wait(timeout=0.2)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        self.stats.record_collective("barrier", 0)
+        self._world.wait_barrier()
+
+    def _exchange(self, obj: Any) -> list[Any]:
+        """Deposit ``obj`` in this rank's slot; return everyone's deposit.
+
+        Two barriers: one after deposit (all slots filled), one after read
+        (slots may be reused by the next collective).
+        """
+        w = self._world
+        w._slots[self.rank] = obj
+        w.wait_barrier()
+        result = list(w._slots)
+        w.wait_barrier()
+        return result
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object from every rank, returned in rank order."""
+        self.stats.record_collective("allgather", payload_nbytes(obj))
+        return self._exchange(obj)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self.stats.record_collective("gather", payload_nbytes(obj))
+        vals = self._exchange(obj)
+        return vals if self.rank == root else None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self.stats.record_collective(
+            "bcast", payload_nbytes(obj) if self.rank == root else 0
+        )
+        vals = self._exchange(obj if self.rank == root else None)
+        return vals[root]
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce ``value`` across ranks with ``op`` and return the result.
+
+        The reduction is computed deterministically in rank order on every
+        rank, so all ranks see a bit-identical result.
+        """
+        if op not in _REDUCTIONS:
+            raise ValueError(f"unknown reduction op {op!r}")
+        self.stats.record_collective("allreduce", payload_nbytes(value))
+        vals = self._exchange(value)
+        return _REDUCTIONS[op](vals)
+
+    def exscan(self, value, op: str = "sum"):
+        """Exclusive prefix reduction; rank 0 receives the zero element.
+
+        Only ``sum`` is supported (the only exscan ALPS needs: computing
+        global offsets of local element/dof counts).
+        """
+        if op != "sum":
+            raise ValueError("exscan supports op='sum' only")
+        self.stats.record_collective("exscan", payload_nbytes(value))
+        vals = self._exchange(value)
+        if isinstance(value, np.ndarray):
+            acc = np.zeros_like(value)
+            for v in vals[: self.rank]:
+                acc = acc + v
+            return acc
+        acc = 0
+        for v in vals[: self.rank]:
+            acc += v
+        return acc
+
+    def alltoall(self, sendlist: list[Any]) -> list[Any]:
+        """Personalized all-to-all: ``sendlist[j]`` goes to rank ``j``.
+
+        Returns a list where entry ``i`` is what rank ``i`` sent to us.
+        """
+        if len(sendlist) != self.size:
+            raise ValueError(
+                f"alltoall needs {self.size} entries, got {len(sendlist)}"
+            )
+        self.stats.record_collective("alltoall", payload_nbytes(sendlist))
+        mat = self._exchange(sendlist)
+        return [mat[i][self.rank] for i in range(self.size)]
+
+    def alltoallv_arrays(self, parts: list[np.ndarray]) -> list[np.ndarray]:
+        """Alltoall specialised to lists of NumPy arrays (ALPS's main
+        redistribution primitive, used by PartitionTree / TransferFields)."""
+        return self.alltoall(parts)
+
+    # -- convenience ---------------------------------------------------------
+
+    def allgather_concat(self, arr: np.ndarray) -> np.ndarray:
+        """Allgather 1-D/2-D arrays and concatenate along axis 0."""
+        parts = self.allgather(arr)
+        return np.concatenate([p for p in parts if len(p)], axis=0) if any(
+            len(p) for p in parts
+        ) else arr[:0]
+
+    def global_offsets(self, local_count: int) -> tuple[int, int]:
+        """Return (my_offset, global_total) for a local item count."""
+        counts = self.allgather(int(local_count))
+        return sum(counts[: self.rank]), sum(counts)
+
+
+def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Returns the list of per-rank return values in rank order.  If any rank
+    raises, the world is aborted and the first exception is re-raised.
+
+    ``nranks == 1`` runs inline on the calling thread (fast path used
+    heavily by tests).
+    """
+    world = SimWorld(nranks)
+    comms = [SimComm(world, r) for r in range(nranks)]
+    if nranks == 1:
+        return [fn(comms[0], *args, **kwargs)]
+
+    results: list[Any] = [None] * nranks
+
+    def runner(r: int) -> None:
+        try:
+            results[r] = fn(comms[r], *args, **kwargs)
+        except SpmdAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world._error is not None:
+        raise world._error
+    return results
+
+
+def run_spmd_with_comms(nranks: int, fn: Callable, *args, **kwargs):
+    """Like :func:`run_spmd` but also returns the communicators (for their
+    post-run ``stats``)."""
+    world = SimWorld(nranks)
+    comms = [SimComm(world, r) for r in range(nranks)]
+    if nranks == 1:
+        return [fn(comms[0], *args, **kwargs)], comms
+
+    results: list[Any] = [None] * nranks
+
+    def runner(r: int) -> None:
+        try:
+            results[r] = fn(comms[r], *args, **kwargs)
+        except SpmdAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world._error is not None:
+        raise world._error
+    return results, comms

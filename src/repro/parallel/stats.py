@@ -1,0 +1,130 @@
+"""Communication and computation accounting for simulated SPMD runs.
+
+Every :class:`~repro.parallel.simcomm.SimComm` owns a :class:`CommStats`
+instance that records how many messages and bytes each communication
+primitive moved, and how many collective rounds were executed.  The machine
+model (:mod:`repro.parallel.machine`) converts these counts into modeled
+wall-clock times for arbitrary core counts, which is how the paper-scale
+core counts (up to 62,464) are produced from runs on a handful of simulated
+ranks.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommStats", "payload_nbytes", "merge_stats"]
+
+
+def payload_nbytes(obj) -> int:
+    """Estimate the wire size of a message payload in bytes.
+
+    NumPy arrays report their exact buffer size; containers are summed
+    recursively; scalars and other objects fall back to ``sys.getsizeof``.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (int, float, complex, np.generic, bool)):
+        return 8
+    return sys.getsizeof(obj)
+
+
+@dataclass
+class CommStats:
+    """Per-rank tally of communication activity.
+
+    Attributes
+    ----------
+    p2p_messages, p2p_bytes:
+        Point-to-point sends issued by this rank and their payload volume.
+    collective_calls:
+        Number of collective operations (allgather, allreduce, alltoall,
+        scan, barrier, bcast) this rank participated in, keyed by name.
+    collective_bytes:
+        Payload bytes this rank *contributed* to each collective, keyed by
+        name.  For an allgather of one int per rank this is 8, regardless
+        of P; the machine model supplies the P-dependent cost.
+    flops:
+        Floating point work explicitly charged via :meth:`add_flops`
+        (numerical kernels charge analytic counts).
+    """
+
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    collective_calls: dict = field(default_factory=dict)
+    collective_bytes: dict = field(default_factory=dict)
+    flops: float = 0.0
+
+    def record_p2p(self, nbytes: int) -> None:
+        self.p2p_messages += 1
+        self.p2p_bytes += nbytes
+
+    def record_collective(self, name: str, nbytes: int) -> None:
+        self.collective_calls[name] = self.collective_calls.get(name, 0) + 1
+        self.collective_bytes[name] = self.collective_bytes.get(name, 0) + nbytes
+
+    def add_flops(self, n: float) -> None:
+        self.flops += float(n)
+
+    @property
+    def total_collective_calls(self) -> int:
+        return sum(self.collective_calls.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self.p2p_bytes + sum(self.collective_bytes.values())
+
+    def snapshot(self) -> "CommStats":
+        """Return a deep copy so callers can diff before/after a phase."""
+        return CommStats(
+            p2p_messages=self.p2p_messages,
+            p2p_bytes=self.p2p_bytes,
+            collective_calls=dict(self.collective_calls),
+            collective_bytes=dict(self.collective_bytes),
+            flops=self.flops,
+        )
+
+    def since(self, earlier: "CommStats") -> "CommStats":
+        """Return the delta between this tally and an earlier snapshot."""
+        calls = {
+            k: v - earlier.collective_calls.get(k, 0)
+            for k, v in self.collective_calls.items()
+            if v - earlier.collective_calls.get(k, 0)
+        }
+        nbytes = {
+            k: v - earlier.collective_bytes.get(k, 0)
+            for k, v in self.collective_bytes.items()
+            if v - earlier.collective_bytes.get(k, 0)
+        }
+        return CommStats(
+            p2p_messages=self.p2p_messages - earlier.p2p_messages,
+            p2p_bytes=self.p2p_bytes - earlier.p2p_bytes,
+            collective_calls=calls,
+            collective_bytes=nbytes,
+            flops=self.flops - earlier.flops,
+        )
+
+
+def merge_stats(stats: list[CommStats]) -> CommStats:
+    """Aggregate per-rank stats into a world total (sums over ranks)."""
+    out = CommStats()
+    for s in stats:
+        out.p2p_messages += s.p2p_messages
+        out.p2p_bytes += s.p2p_bytes
+        out.flops += s.flops
+        for k, v in s.collective_calls.items():
+            out.collective_calls[k] = out.collective_calls.get(k, 0) + v
+        for k, v in s.collective_bytes.items():
+            out.collective_bytes[k] = out.collective_bytes.get(k, 0) + v
+    return out

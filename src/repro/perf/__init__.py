@@ -1,0 +1,20 @@
+"""Scaling-experiment harness: table formatting and machine-model
+extrapolation of measured runs to paper-scale core counts."""
+
+from .harness import (
+    ADV_FLOPS_PER_ELEMENT_STEP,
+    STOKES_FLOPS_PER_ELEMENT_ITER,
+    format_table,
+    measured_pipeline_run,
+    model_strong_scaling,
+    model_weak_scaling,
+)
+
+__all__ = [
+    "format_table",
+    "measured_pipeline_run",
+    "model_weak_scaling",
+    "model_strong_scaling",
+    "ADV_FLOPS_PER_ELEMENT_STEP",
+    "STOKES_FLOPS_PER_ELEMENT_ITER",
+]

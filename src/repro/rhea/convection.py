@@ -1,0 +1,305 @@
+"""RHEA: the coupled adaptive mantle convection simulation.
+
+Implements the solution strategy of Section III on top of the ALPS mesh
+layer: each time step splits into an explicit SUPG advection-diffusion
+update of temperature and a variable-viscosity Stokes solve for the flow,
+with the strain-rate-dependent (yielding) viscosity handled by Picard
+fixed-point iteration.  The mesh is re-adapted every ``adapt_every`` steps
+through the Figure-4 pipeline, transferring temperature and velocity.
+
+Nondimensionalization follows eqs. (1)-(3): buoyancy ``Ra T e_z`` drives
+the flow, kappa = 1, and the Rayleigh number controls vigor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..amr import adapt_mesh
+from ..fem import AdvectionDiffusion, StokesSystem, element_velocity_from_nodal
+from ..mesh import Mesh, extract_mesh
+from ..octree import LinearOctree
+from ..solvers import StokesBlockPreconditioner, minres
+from .error import combined_indicator
+from .viscosity import ArrheniusViscosity, element_temperature, strain_rate_invariant
+
+__all__ = ["RheaConfig", "MantleConvection", "conductive_profile"]
+
+
+def conductive_profile(coords: np.ndarray, perturbation: float = 0.05, domain=None) -> np.ndarray:
+    """Initial temperature: conductive (1 - z') plus a smooth perturbation
+    that seeds convection; ``z'`` is depth-normalized."""
+    d = np.asarray(domain if domain is not None else (1.0, 1.0, 1.0), dtype=np.float64)
+    x, y, z = (coords[:, i] / d[i] for i in range(3))
+    base = 1.0 - z
+    pert = perturbation * np.cos(np.pi * x) * np.cos(np.pi * y) * np.sin(np.pi * z)
+    return np.clip(base + pert, 0.0, 1.0)
+
+
+@dataclass
+class RheaConfig:
+    """Physical and numerical parameters of a RHEA run."""
+
+    Ra: float = 1e5
+    domain: tuple = (1.0, 1.0, 1.0)
+    kappa: float = 1.0
+    gamma: float = 0.0
+    viscosity: Callable = field(default_factory=ArrheniusViscosity)
+    initial_level: int = 3
+    min_level: int = 1
+    max_level: int = 6
+    target_elements: int | None = None
+    adapt_every: int = 16
+    cfl: float = 0.4
+    picard_iterations: int = 3
+    picard_tol: float = 1e-2
+    stokes_tol: float = 1e-6
+    stokes_maxiter: int = 500
+    viscosity_weight: float = 0.5
+    #: weight of the strain-rate-localization term in the refinement
+    #: criterion (refines yielding zones / plate boundaries, Sec. VI)
+    strain_weight: float = 0.3
+    #: refinement boost for elements where the plastic yield limiter is
+    #: active — drives the ~1.5 km resolution in the weak zones of Fig. 11
+    yield_weight: float = 0.75
+    velocity_bc: str = "free_slip"
+    mark_tol: float = 0.08
+
+
+@dataclass
+class StepDiagnostics:
+    step: int
+    time: float
+    n_elements: int
+    vrms: float
+    nusselt: float
+    mean_T: float
+    minres_iterations: int
+    picard_iterations: int
+    eta_min: float
+    eta_max: float
+    timings: dict = field(default_factory=dict)
+
+
+class MantleConvection:
+    """Driver object holding the evolving mesh, fields, and solvers."""
+
+    def __init__(
+        self,
+        config: RheaConfig | None = None,
+        T_init: Callable[[np.ndarray], np.ndarray] | None = None,
+        tree: LinearOctree | None = None,
+    ):
+        self.config = config or RheaConfig()
+        cfg = self.config
+        if tree is None:
+            tree = LinearOctree.uniform(cfg.initial_level)
+        self.mesh: Mesh = extract_mesh(tree, cfg.domain)
+        t_init = T_init or (lambda c: conductive_profile(c, domain=cfg.domain))
+        self._t_init = t_init
+        Tn = t_init(self.mesh.node_coords())
+        self.T = self.mesh.expand(Tn[self.mesh.indep_nodes])
+        self.u = np.zeros((self.mesh.n_nodes, 3))
+        self.eta_elem = np.ones(self.mesh.n_elements)
+        self.edot_elem = np.zeros(self.mesh.n_elements)
+        self.sim_time = 0.0
+        self.step_count = 0
+        self.history: list[StepDiagnostics] = []
+        self._last_minres = 0
+        self._last_picard = 0
+
+    # -- initial adaptation -----------------------------------------------------
+
+    def adapt_initial(self, rounds: int = 3, target: int | None = None) -> None:
+        """Pre-adapt the mesh to the initial temperature before stepping
+        (mirrors NEWTREE at a coarse level + refinement to the data)."""
+        for _ in range(rounds):
+            self.adapt(target=target)
+            Tn = self._t_init(self.mesh.node_coords())
+            self.T = self.mesh.expand(Tn[self.mesh.indep_nodes])
+
+    # -- Stokes ---------------------------------------------------------------------
+
+    def _body_force(self) -> np.ndarray:
+        f = np.zeros((self.mesh.n_nodes, 3))
+        f[:, 2] = self.config.Ra * self.T
+        return f
+
+    def solve_stokes(self) -> dict:
+        """Picard iteration over the strain-rate-dependent viscosity.
+
+        Each pass evaluates the viscosity law at the current velocity,
+        assembles the Stokes system, and solves by MINRES with the block
+        preconditioner.  Returns solver statistics.
+        """
+        cfg = self.config
+        mesh = self.mesh
+        T_e = element_temperature(mesh, self.T)
+        z_e = mesh.element_centers()[:, 2] / cfg.domain[2]
+        total_minres = 0
+        n_picard = 0
+        for k in range(max(cfg.picard_iterations, 1)):
+            n_picard = k + 1
+            edot = strain_rate_invariant(mesh, self.u)
+            eta = cfg.viscosity(T_e, z_e, edot)
+            self.eta_elem = eta
+            self.edot_elem = edot
+            st = StokesSystem(mesh, eta, self._body_force(), bc=cfg.velocity_bc)
+            prec = StokesBlockPreconditioner(st)
+            res = minres(
+                st.matvec, st.rhs(), M=prec.apply,
+                tol=cfg.stokes_tol, maxiter=cfg.stokes_maxiter,
+            )
+            x = st.project_pressure_mean(res.x)
+            total_minres += res.iterations
+            n = mesh.n_independent
+            u_new = np.empty((mesh.n_nodes, 3))
+            for a in range(3):
+                u_new[:, a] = mesh.expand(x[a * n : (a + 1) * n])
+            du = np.linalg.norm(u_new - self.u) / max(np.linalg.norm(u_new), 1e-30)
+            self.u = u_new
+            if du < cfg.picard_tol:
+                break
+        self._last_minres = total_minres
+        self._last_picard = n_picard
+        return {
+            "minres_iterations": total_minres,
+            "picard_iterations": n_picard,
+            "eta_min": float(self.eta_elem.min()),
+            "eta_max": float(self.eta_elem.max()),
+            "converged": res.converged,
+        }
+
+    # -- temperature -------------------------------------------------------------------
+
+    def advance_temperature(self, n_steps: int) -> float:
+        """Advance the energy equation ``n_steps`` explicit steps with the
+        frozen Stokes velocity; returns the time step used."""
+        cfg = self.config
+        vel_e = element_velocity_from_nodal(self.mesh, self.u)
+        eq = AdvectionDiffusion(
+            self.mesh, cfg.kappa, vel_e, source=cfg.gamma,
+            dirichlet=[(2, 0, 1.0), (2, 1, 0.0)],  # hot bottom, cold top
+        )
+        dt = eq.cfl_dt(cfg.cfl)
+        T_ind = self.T[self.mesh.indep_nodes]
+        T_ind = eq.advance(T_ind, dt, n_steps)
+        self.T = self.mesh.expand(T_ind)
+        self.sim_time += n_steps * dt
+        self.step_count += n_steps
+        return dt
+
+    # -- adaptation --------------------------------------------------------------------
+
+    def adapt(self, target: int | None = None) -> "AdaptReport":
+        """One Figure-4 adaptation pass driven by the combined indicator;
+        transfers temperature and velocity to the new mesh."""
+        cfg = self.config
+        target = target or cfg.target_elements or self.mesh.n_elements
+        eta_ind = combined_indicator(
+            self.mesh, self.T, self.eta_elem, cfg.viscosity_weight
+        )
+        # stress localization: keep the high-deviatoric-stress (yielding)
+        # zones at the finest resolution, as in the Sec. VI runs.  Stress
+        # (2 eta edot), not strain rate, is the right localizer: the
+        # low-viscosity interior strains fast at low stress.
+        stress = 2.0 * self.eta_elem * self.edot_elem
+        if cfg.strain_weight > 0 and stress.max() > 0:
+            eta_ind = eta_ind + cfg.strain_weight * (stress / stress.max())
+        # plastic yielding zones (weak plate boundaries) are refined
+        # directly: yielding caps the stress at sigma_y, so neither the
+        # thermal nor the stress term can single them out
+        if cfg.yield_weight > 0 and hasattr(cfg.viscosity, "yielded_mask"):
+            T_e = element_temperature(self.mesh, self.T)
+            z_e = self.mesh.element_centers()[:, 2] / cfg.domain[2]
+            yielded = cfg.viscosity.yielded_mask(T_e, z_e, self.edot_elem)
+            eta_ind = eta_ind + cfg.yield_weight * yielded
+        fields = {
+            "T": self.T,
+            "ux": self.u[:, 0],
+            "uy": self.u[:, 1],
+            "uz": self.u[:, 2],
+        }
+        new_mesh, new_fields, report = adapt_mesh(
+            self.mesh, eta_ind, target, fields,
+            min_level=cfg.min_level, max_level=cfg.max_level,
+            tol=cfg.mark_tol,
+        )
+        self.mesh = new_mesh
+        self.T = np.clip(new_fields["T"], 0.0, 1.5)
+        self.u = np.stack(
+            [new_fields["ux"], new_fields["uy"], new_fields["uz"]], axis=1
+        )
+        self.eta_elem = np.ones(new_mesh.n_elements)
+        self.edot_elem = strain_rate_invariant(new_mesh, self.u)
+        return report
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def vrms(self) -> float:
+        """RMS velocity weighted by element volumes."""
+        vol = self.mesh.element_sizes().prod(axis=1)
+        uc = self.u[self.mesh.element_nodes].mean(axis=1)  # (ne, 3)
+        v2 = np.einsum("ea,ea->e", uc, uc)
+        return float(np.sqrt((vol * v2).sum() / vol.sum()))
+
+    def nusselt(self) -> float:
+        """Nusselt number: mean conductive flux through the top boundary
+        divided by the purely conductive value."""
+        from .error import element_gradient
+
+        g = element_gradient(self.mesh, self.T)
+        c = self.mesh.element_centers()
+        sizes = self.mesh.element_sizes()
+        top = c[:, 2] + sizes[:, 2] / 2 >= self.config.domain[2] * (1 - 1e-9)
+        if not top.any():
+            return np.nan
+        area = (sizes[top, 0] * sizes[top, 1]).sum()
+        flux = -(g[top, 2] * sizes[top, 0] * sizes[top, 1]).sum()
+        dz = self.config.domain[2]
+        return float(flux / area * dz)  # conductive flux = 1/dz
+
+    def mean_temperature(self) -> float:
+        vol = self.mesh.element_sizes().prod(axis=1)
+        T_e = element_temperature(self.mesh, self.T)
+        return float((vol * T_e).sum() / vol.sum())
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, n_cycles: int, adapt: bool = True) -> list[StepDiagnostics]:
+        """Run ``n_cycles`` of (adapt -> Stokes solve -> advance
+        temperature ``adapt_every`` steps), recording diagnostics."""
+        cfg = self.config
+        for _ in range(n_cycles):
+            timings = {}
+            if adapt:
+                t0 = time.perf_counter()
+                report = self.adapt()
+                timings["AMR"] = time.perf_counter() - t0
+                timings.update(report.timings)
+            t0 = time.perf_counter()
+            stats = self.solve_stokes()
+            timings["Stokes"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self.advance_temperature(cfg.adapt_every)
+            timings["TimeIntegration"] = time.perf_counter() - t0
+            self.history.append(
+                StepDiagnostics(
+                    step=self.step_count,
+                    time=self.sim_time,
+                    n_elements=self.mesh.n_elements,
+                    vrms=self.vrms(),
+                    nusselt=self.nusselt(),
+                    mean_T=self.mean_temperature(),
+                    minres_iterations=stats["minres_iterations"],
+                    picard_iterations=stats["picard_iterations"],
+                    eta_min=stats["eta_min"],
+                    eta_max=stats["eta_max"],
+                    timings=timings,
+                )
+            )
+        return self.history

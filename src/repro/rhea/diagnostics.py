@@ -1,0 +1,108 @@
+"""Geodynamic diagnostics for RHEA runs.
+
+Depth profiles, surface mobility, and plateness — the quantities mantle
+convection studies report alongside Nu and vrms, used to characterize
+plate-like behavior in yielding runs (Section VI discusses coherent
+plates, weak boundaries, and localized deformation; these diagnostics
+quantify them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import Mesh
+from .viscosity import element_temperature, strain_rate_invariant
+
+__all__ = [
+    "depth_profile",
+    "surface_mobility",
+    "plateness",
+    "depth_profiles_table",
+]
+
+
+def depth_profile(
+    mesh: Mesh, elem_values: np.ndarray, n_bins: int = 16
+) -> tuple[np.ndarray, np.ndarray]:
+    """Volume-weighted horizontal average of a per-element field vs depth.
+
+    Returns ``(z_centers, averages)``; bins with no elements give NaN.
+    """
+    elem_values = np.asarray(elem_values, dtype=np.float64)
+    if elem_values.shape != (mesh.n_elements,):
+        raise ValueError("per-element field required")
+    z = mesh.element_centers()[:, 2] / mesh.domain[2]
+    vol = mesh.element_sizes().prod(axis=1)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(z, edges) - 1, 0, n_bins - 1)
+    wsum = np.bincount(idx, weights=vol, minlength=n_bins)
+    vsum = np.bincount(idx, weights=vol * elem_values, minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        avg = np.where(wsum > 0, vsum / np.maximum(wsum, 1e-300), np.nan)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, avg
+
+
+def _surface_elements(mesh: Mesh) -> np.ndarray:
+    c = mesh.element_centers()[:, 2]
+    h = mesh.element_sizes()[:, 2]
+    return c + h / 2 >= mesh.domain[2] * (1 - 1e-9)
+
+
+def surface_mobility(mesh: Mesh, u_full: np.ndarray) -> float:
+    """Surface rms speed / volume rms speed.
+
+    Mobility ~ 1 indicates mobile-lid (plate-like) convection; << 1 a
+    stagnant lid.  ``u_full`` is (n_nodes, 3).
+    """
+    u = np.asarray(u_full, dtype=np.float64)
+    uc = u[mesh.element_nodes].mean(axis=1)  # (ne, 3)
+    speed2 = np.einsum("ea,ea->e", uc, uc)
+    vol = mesh.element_sizes().prod(axis=1)
+    v_all = np.sqrt((vol * speed2).sum() / vol.sum())
+    top = _surface_elements(mesh)
+    if not top.any() or v_all == 0:
+        return np.nan
+    area = (mesh.element_sizes()[top, 0] * mesh.element_sizes()[top, 1]).sum()
+    # horizontal speed only (normal component vanishes under free slip)
+    sh2 = uc[top, 0] ** 2 + uc[top, 1] ** 2
+    v_surf = np.sqrt(
+        (mesh.element_sizes()[top, 0] * mesh.element_sizes()[top, 1] * sh2).sum()
+        / area
+    )
+    return float(v_surf / v_all)
+
+
+def plateness(mesh: Mesh, u_full: np.ndarray, quantile: float = 0.8) -> float:
+    """Fraction of surface strain rate carried by the weakest ``1 -
+    quantile`` of the surface area.
+
+    Plate-like flow localizes deformation: a high value means most surface
+    deformation happens in narrow boundaries while plate interiors ride
+    rigidly (cf. the Section VI discussion of coherent blocks and weak
+    zones)."""
+    top = _surface_elements(mesh)
+    if not top.any():
+        return np.nan
+    edot = strain_rate_invariant(mesh, np.asarray(u_full, dtype=np.float64))[top]
+    area = (mesh.element_sizes()[top, 0] * mesh.element_sizes()[top, 1])
+    order = np.argsort(edot)
+    cum_area = np.cumsum(area[order]) / area.sum()
+    cut = np.searchsorted(cum_area, quantile)
+    total = (edot * area).sum()
+    if total <= 0:
+        return np.nan
+    localized = (edot[order][cut:] * area[order][cut:]).sum()
+    return float(localized / total)
+
+
+def depth_profiles_table(sim) -> dict:
+    """Convenience: T, viscosity and strain-rate depth profiles of a
+    :class:`~repro.rhea.MantleConvection` state."""
+    mesh = sim.mesh
+    T_e = element_temperature(mesh, sim.T)
+    z, Tprof = depth_profile(mesh, T_e)
+    _, eprof = depth_profile(mesh, np.log10(np.maximum(sim.eta_elem, 1e-300)))
+    _, sprof = depth_profile(mesh, strain_rate_invariant(mesh, sim.u))
+    return {"z": z, "T": Tprof, "log10_eta": eprof, "edot": sprof}

@@ -1,0 +1,22 @@
+"""Linear and time-stepping solvers: MINRES, smoothed-aggregation AMG,
+the block-diagonal Stokes preconditioner, and explicit integrators."""
+
+from .amg import AMGLevel, SmoothedAggregationAMG, aggregate, strength_graph
+from .blockprec import StokesBlockPreconditioner
+from .cg import CGResult, cg
+from .minres import MinresResult, minres
+from .timestep import LowStorageRK45, heun_step
+
+__all__ = [
+    "SmoothedAggregationAMG",
+    "AMGLevel",
+    "aggregate",
+    "strength_graph",
+    "StokesBlockPreconditioner",
+    "cg",
+    "CGResult",
+    "minres",
+    "MinresResult",
+    "LowStorageRK45",
+    "heun_step",
+]

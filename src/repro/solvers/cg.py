@@ -1,0 +1,90 @@
+"""Preconditioned conjugate gradients.
+
+Used for the SPD subproblems that don't need MINRES: standalone
+variable-viscosity Poisson solves (the Figure-9 experiment solves these
+directly) and as a reference solver in tests.  Supports the same operator
+/ preconditioner calling convention as :func:`repro.solvers.minres`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["cg", "CGResult"]
+
+
+@dataclass
+class CGResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else np.inf
+
+
+def _as_op(A) -> Callable[[np.ndarray], np.ndarray]:
+    if callable(A):
+        return A
+    if sp.issparse(A) or isinstance(A, np.ndarray):
+        return lambda x: A @ x
+    raise TypeError("A must be callable or a matrix")
+
+
+def cg(
+    A,
+    b: np.ndarray,
+    M: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    maxiter: int | None = None,
+) -> CGResult:
+    """Solve the SPD system ``A x = b`` by preconditioned CG.
+
+    ``M`` applies an SPD preconditioner (e.g. one AMG V-cycle); the
+    stopping test is on the M-inner-product residual norm, relative to the
+    initial one.
+    """
+    apply_A = _as_op(A)
+    apply_M = M if M is not None else (lambda r: r)
+    n = len(b)
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    maxiter = maxiter if maxiter is not None else 10 * n
+
+    r = b - apply_A(x)
+    z = apply_M(r)
+    rz = float(r @ z)
+    if rz < 0:
+        raise ValueError("preconditioner is not positive definite")
+    norm0 = np.sqrt(rz)
+    residuals = [norm0]
+    if norm0 == 0.0:
+        return CGResult(x=x, iterations=0, converged=True, residuals=residuals)
+    p = z.copy()
+    converged = False
+    it = 0
+    for it in range(1, maxiter + 1):
+        Ap = apply_A(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            raise ValueError("operator is not positive definite")
+        alpha = rz / pAp
+        x = x + alpha * p
+        r = r - alpha * Ap
+        z = apply_M(r)
+        rz_new = float(r @ z)
+        if rz_new < 0:
+            raise ValueError("preconditioner is not positive definite")
+        residuals.append(np.sqrt(max(rz_new, 0.0)))
+        if residuals[-1] <= tol * norm0:
+            converged = True
+            break
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return CGResult(x=x, iterations=it, converged=converged, residuals=residuals)

@@ -1,0 +1,84 @@
+"""Explicit time integrators.
+
+- :func:`heun_step` — the generic predictor-corrector used for SUPG
+  advection-diffusion (the FE-specific wrapper lives on
+  :class:`~repro.fem.advection.AdvectionDiffusion`).
+- :class:`LowStorageRK45` — the five-stage fourth-order low-storage
+  Runge-Kutta scheme (Carpenter & Kennedy 1994) used by MANGLL's DG
+  advection solver (Section VII: "a five-stage fourth-order explicit
+  Runge-Kutta method").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["heun_step", "LowStorageRK45"]
+
+
+def heun_step(rate: Callable[[np.ndarray], np.ndarray], u: np.ndarray, dt: float) -> np.ndarray:
+    """Explicit predictor-corrector (Heun / trapezoidal RK2) step."""
+    k1 = rate(u)
+    k2 = rate(u + dt * k1)
+    return u + 0.5 * dt * (k1 + k2)
+
+
+class LowStorageRK45:
+    """Carpenter-Kennedy 4th-order 5-stage low-storage Runge-Kutta.
+
+    Only one residual register is kept besides the solution — the scheme
+    of choice for large DG simulations.
+    """
+
+    A = np.array(
+        [
+            0.0,
+            -567301805773.0 / 1357537059087.0,
+            -2404267990393.0 / 2016746695238.0,
+            -3550918686646.0 / 2091501179385.0,
+            -1275806237668.0 / 842570457699.0,
+        ]
+    )
+    B = np.array(
+        [
+            1432997174477.0 / 9575080441755.0,
+            5161836677717.0 / 13612068292357.0,
+            1720146321549.0 / 2090206949498.0,
+            3134564353537.0 / 4481467310338.0,
+            2277821191437.0 / 14882151754819.0,
+        ]
+    )
+    C = np.array(
+        [
+            0.0,
+            1432997174477.0 / 9575080441755.0,
+            2526269341429.0 / 6820363962896.0,
+            2006345519317.0 / 3224310063776.0,
+            2802321613138.0 / 2924317926251.0,
+        ]
+    )
+
+    def step(
+        self,
+        rate: Callable[[np.ndarray, float], np.ndarray],
+        u: np.ndarray,
+        t: float,
+        dt: float,
+    ) -> np.ndarray:
+        """Advance ``u`` from ``t`` to ``t + dt``; ``rate(u, t)`` is the
+        semi-discrete right-hand side."""
+        res = np.zeros_like(u)
+        u = u.copy()
+        for s in range(5):
+            res = self.A[s] * res + dt * rate(u, t + self.C[s] * dt)
+            u = u + self.B[s] * res
+        return u
+
+    def advance(self, rate, u: np.ndarray, t0: float, dt: float, n_steps: int) -> np.ndarray:
+        t = t0
+        for _ in range(n_steps):
+            u = self.step(rate, u, t, dt)
+            t += dt
+        return u

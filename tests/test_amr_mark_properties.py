@@ -1,0 +1,81 @@
+"""Property-based tests for MARKELEMENTS invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr import mark_elements
+
+
+@st.composite
+def indicator_case(draw):
+    n = draw(st.integers(16, 400))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["uniform", "peaked", "bimodal"]))
+    if kind == "uniform":
+        eta = rng.random(n)
+    elif kind == "peaked":
+        eta = np.exp(-rng.random(n) * 10)
+    else:
+        eta = np.where(rng.random(n) < 0.2, rng.random(n), 1e-4 * rng.random(n))
+    levels = rng.integers(1, 7, n)
+    target = draw(st.integers(max(8, n // 4), 4 * n))
+    return eta, levels, target
+
+
+class TestMarkProperties:
+    @given(indicator_case())
+    @settings(max_examples=40, deadline=None)
+    def test_masks_are_disjoint_and_capped(self, case):
+        eta, levels, target = case
+        res = mark_elements(eta, levels, target, max_level=6, min_level=1)
+        # refine and coarsen never overlap
+        assert not np.any(res.refine & res.coarsen)
+        # level caps respected
+        assert not np.any(res.refine & (levels >= 6))
+        assert not np.any(res.coarsen & (levels <= 1))
+        # thresholds are ordered
+        assert res.coarsen_threshold <= res.refine_threshold or res.coarsen_threshold == 0.0
+
+    @given(indicator_case())
+    @settings(max_examples=40, deadline=None)
+    def test_expected_count_formula(self, case):
+        eta, levels, target = case
+        res = mark_elements(eta, levels, target, max_level=6, min_level=1)
+        n = len(eta)
+        expect = n + 7 * res.refine.sum() - 7 * (res.coarsen.sum() // 8)
+        assert res.expected_count == expect
+
+    @given(indicator_case())
+    @settings(max_examples=30, deadline=None)
+    def test_growth_targets_approached_monotonically(self, case):
+        """Raising the target never shrinks the expected outcome."""
+        eta, levels, target = case
+        lo = mark_elements(eta, levels, target, max_level=6, min_level=1)
+        hi = mark_elements(eta, levels, 2 * target, max_level=6, min_level=1)
+        assert hi.expected_count >= lo.expected_count - max(
+            int(0.15 * lo.expected_count), 8
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_refinement_marks_highest_indicators(self, seed):
+        rng = np.random.default_rng(seed)
+        eta = rng.random(200)
+        levels = np.full(200, 3)
+        res = mark_elements(eta, levels, target=400)
+        if res.refine.any() and (~res.refine).any():
+            assert eta[res.refine].min() >= eta[~res.refine].max() - 1e-12
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_coarsening_marks_lowest_indicators(self, seed):
+        rng = np.random.default_rng(seed)
+        eta = rng.random(256)
+        levels = np.full(256, 3)
+        res = mark_elements(eta, levels, target=64)
+        if res.coarsen.any():
+            unmarked = ~res.coarsen & ~res.refine
+            if unmarked.any():
+                assert eta[res.coarsen].max() <= eta[unmarked].min() + 1e-12

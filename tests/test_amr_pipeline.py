@@ -1,0 +1,217 @@
+"""Tests for MARKELEMENTS, the serial adaptation driver, and the SPMD
+pipeline — including P-invariance of the distributed transport solver."""
+
+import numpy as np
+import pytest
+
+from repro.amr import (
+    ParAmrPipeline,
+    RotatingFrontWorkload,
+    adapt_mesh,
+    mark_elements,
+    rotating_velocity,
+)
+from repro.fem import AdvectionDiffusion, ParAdvectionDiffusion
+from repro.mesh import extract_mesh
+from repro.mesh.parmesh import extract_parmesh
+from repro.octree import LinearOctree, balance, balance_tree, new_tree, partition_tree, refine_tree
+from repro.parallel import run_spmd
+
+
+class TestMarkElements:
+    def test_hits_target_count(self):
+        rng = np.random.default_rng(0)
+        eta = rng.random(1000)
+        levels = np.full(1000, 4)
+        res = mark_elements(eta, levels, target=2000, tol=0.1)
+        assert abs(res.expected_count - 2000) <= 0.15 * 2000
+
+    def test_coarsening_when_target_below(self):
+        rng = np.random.default_rng(1)
+        eta = rng.random(1024)
+        levels = np.full(1024, 4)
+        res = mark_elements(eta, levels, target=600, tol=0.1)
+        assert res.coarsen.sum() > 0
+        assert res.expected_count < 1024 * 1.05
+
+    def test_level_caps_respected(self):
+        eta = np.array([10.0, 10.0, 0.0, 0.0])
+        levels = np.array([6, 3, 1, 3])
+        res = mark_elements(eta, levels, target=20, max_level=6, min_level=1)
+        assert not res.refine[0]  # already at max level
+        assert not res.coarsen[2]  # already at min level
+
+    def test_zero_indicator_no_marks(self):
+        res = mark_elements(np.zeros(10), np.full(10, 3), target=100)
+        assert not res.refine.any() and not res.coarsen.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mark_elements(np.ones(3), np.ones(4), 10)
+        with pytest.raises(ValueError):
+            mark_elements(-np.ones(3), np.ones(3), 10)
+
+    def test_parallel_matches_serial(self):
+        rng = np.random.default_rng(2)
+        eta_g = rng.random(64)
+        levels_g = np.full(64, 2)
+        ref = mark_elements(eta_g, levels_g, target=150)
+
+        def kernel(comm):
+            lo, _ = comm.global_offsets(16)
+            res = mark_elements(
+                eta_g[lo : lo + 16], levels_g[lo : lo + 16], target=150, comm=comm
+            )
+            return res.refine_threshold, res.expected_count
+
+        for thr, cnt in run_spmd(4, kernel):
+            assert thr == pytest.approx(ref.refine_threshold)
+            assert cnt == ref.expected_count
+
+
+class TestSerialAdaptDriver:
+    def test_adapt_counts_and_timings(self):
+        mesh = extract_mesh(balance(LinearOctree.uniform(3), "corner").tree)
+        c = mesh.element_centers()
+        eta = np.exp(-np.linalg.norm(c - 0.5, axis=1) ** 2 / 0.02)
+        new_mesh, _, rep = adapt_mesh(mesh, eta, target=700)
+        assert rep.n_after == new_mesh.n_elements
+        assert rep.n_refined > 0
+        assert rep.n_before == 512
+        assert set(rep.timings) >= {
+            "MarkElements", "CoarsenTree", "RefineTree",
+            "BalanceTree", "ExtractMesh", "InterpolateFields",
+        }
+
+    def test_field_transfer_preserves_linears(self):
+        mesh = extract_mesh(LinearOctree.uniform(2))
+        coords = mesh.node_coords()
+        T = coords[:, 0] + 2 * coords[:, 2]
+        eta = np.linspace(0, 1, mesh.n_elements)
+        new_mesh, fields, _ = adapt_mesh(mesh, eta, target=100, fields={"T": T})
+        nc = new_mesh.node_coords()
+        np.testing.assert_allclose(fields["T"], nc[:, 0] + 2 * nc[:, 2], atol=1e-9)
+
+
+class TestParAdvectionPInvariance:
+    def test_distributed_step_matches_serial(self):
+        """The gold test: one explicit SUPG step on P ranks equals the
+        serial step, node for node."""
+        wind = rotating_velocity(scale=2.0)
+
+        # serial reference
+        tree = balance(LinearOctree.uniform(2), "corner").tree
+        mesh = extract_mesh(tree)
+        centers = mesh.element_centers()
+        eq = AdvectionDiffusion(mesh, 1e-4, wind(centers))
+        coords = mesh.node_coords()
+        T0 = np.sin(np.pi * coords[:, 0]) * np.cos(np.pi * coords[:, 1])
+        T_ind = T0[mesh.indep_nodes]
+        dt = 1e-3
+        T_ref = eq.advance(T_ind, dt, 3)
+        ref_map = {}
+        from repro.mesh import node_keys
+
+        keys_ref = node_keys(mesh.node_coords_int[mesh.indep_nodes])
+        for k, v in zip(keys_ref, T_ref):
+            ref_map[int(k)] = v
+
+        def kernel(comm):
+            pt = new_tree(comm, 2)
+            pt, _, _ = balance_tree(pt, "corner")
+            pt, _ = partition_tree(pt)
+            pm = extract_parmesh(pt)
+            peq = ParAdvectionDiffusion(pm, 1e-4, wind)
+            c = pm.mesh.node_coords()
+            T0l = np.sin(np.pi * c[:, 0]) * np.cos(np.pi * c[:, 1])
+            Tl = T0l[pm.mesh.indep_nodes]
+            Tl = peq.advance(Tl, dt, 3)
+            ks = node_keys(pm.mesh.node_coords_int[pm.mesh.indep_nodes])
+            mine = pm.node_owner[pm.mesh.indep_nodes] == comm.rank
+            return ks[mine], Tl[mine]
+
+        for p in [1, 2, 4]:
+            out = run_spmd(p, kernel)
+            seen = 0
+            for ks, vals in out:
+                for k, v in zip(ks, vals):
+                    assert ref_map[int(k)] == pytest.approx(v, abs=1e-11)
+                    seen += 1
+            assert seen == len(ref_map)
+
+    def test_cfl_agrees_with_serial(self):
+        wind = rotating_velocity(scale=1.0)
+        tree = balance(LinearOctree.uniform(2), "corner").tree
+        mesh = extract_mesh(tree)
+        eq = AdvectionDiffusion(mesh, 1e-4, wind(mesh.element_centers()))
+        dt_ref = eq.cfl_dt(0.4)
+
+        def kernel(comm):
+            pt = new_tree(comm, 2)
+            pm = extract_parmesh(pt)
+            return ParAdvectionDiffusion(pm, 1e-4, wind).cfl_dt(0.4)
+
+        for dt in run_spmd(3, kernel):
+            assert dt == pytest.approx(dt_ref)
+
+
+class TestParAmrPipeline:
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_cycles_run_and_track_target(self, p):
+        def kernel(comm):
+            pipe = ParAmrPipeline(comm, coarse_level=2, max_level=5)
+            pipe.run_cycles(n_cycles=2, steps_per_cycle=3, target=300)
+            return (
+                pipe.pt.global_count(),
+                pipe.adapt_history[-1],
+                pipe.timing_breakdown(),
+                pipe.amr_fraction(),
+            )
+
+        for n, stats, timings, frac in run_spmd(p, kernel):
+            assert 100 < n < 1200
+            assert stats.n_after == n
+            assert stats.n_refined + stats.n_coarsened > 0
+            assert "TimeIntegration" in timings and "BalanceTree" in timings
+            assert 0.0 < frac < 1.0
+
+    def test_p_invariant_global_tree(self):
+        """After identical cycles, the distributed tree is identical for
+        every rank count."""
+
+        def kernel(comm):
+            pipe = ParAmrPipeline(comm, coarse_level=2, max_level=4)
+            pipe.run_cycles(n_cycles=2, steps_per_cycle=2, target=250)
+            from repro.octree import gather_tree
+
+            g = gather_tree(pipe.pt)
+            return g.keys.copy(), g.levels.copy()
+
+        ref_keys, ref_levels = run_spmd(1, kernel)[0]
+        for p in [2, 4]:
+            for keys, levels in run_spmd(p, kernel):
+                np.testing.assert_array_equal(keys, ref_keys)
+                np.testing.assert_array_equal(levels, ref_levels)
+
+    def test_front_drives_refinement(self):
+        def kernel(comm):
+            pipe = ParAmrPipeline(comm, coarse_level=2, max_level=5)
+            pipe.adapt(target=400)
+            # refined elements should concentrate near the front radius
+            mesh = pipe.pm.mesh
+            owned = pipe.pm.owned_elements
+            centers = mesh.element_centers()[owned]
+            levels = mesh.leaves.level[owned].astype(float)
+            r = np.linalg.norm(
+                centers - np.asarray(pipe.workload.front_center), axis=1
+            )
+            near = np.abs(r - pipe.workload.front_radius) < 0.08
+            ln = levels[near].sum() if near.any() else 0.0
+            cn = near.sum()
+            lf = levels[~near].sum() if (~near).any() else 0.0
+            cf = (~near).sum()
+            tot = comm.allreduce(np.array([ln, cn, lf, cf]))
+            return tot[0] / max(tot[1], 1), tot[2] / max(tot[3], 1)
+
+        for near_avg, far_avg in run_spmd(2, kernel):
+            assert near_avg > far_avg

@@ -1,0 +1,42 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "octree:" in out
+        assert "Poisson solve" in out
+        assert "AMR:" in out
+
+    def test_parallel_amr_runs(self, capsys):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import parallel_amr
+
+            parallel_amr.main(2)
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert "AMR fraction" in out
+        assert "adaptation history" in out
+
+    def test_spherical_advection_runs(self, capsys):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import spherical_advection
+
+            spherical_advection.main(order=2, n_cycles=1, n_ranks=8)
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert "forest: 24 trees" in out
+        assert "cycle 1:" in out

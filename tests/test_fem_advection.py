@@ -1,0 +1,141 @@
+"""Tests for SUPG advection-diffusion and its explicit stepping."""
+
+import numpy as np
+import pytest
+
+from repro.fem import AdvectionDiffusion, element_velocity_from_nodal, supg_tau
+from repro.mesh import extract_mesh
+from repro.octree import LinearOctree, balance
+
+
+def make_mesh(level=2, adapt=False, seed=0, domain=(1.0, 1.0, 1.0)):
+    tree = LinearOctree.uniform(level)
+    if adapt:
+        rng = np.random.default_rng(seed)
+        tree = tree.refine(rng.random(len(tree)) < 0.3)
+        tree = balance(tree, "corner").tree
+    return extract_mesh(tree, domain)
+
+
+class TestSupgTau:
+    def test_advection_limit(self):
+        """High speed: tau -> h / (2 |a|)."""
+        sizes = np.array([[0.1, 0.1, 0.1]])
+        vel = np.array([[100.0, 0.0, 0.0]])
+        tau = supg_tau(sizes, vel, kappa=1e-8)
+        np.testing.assert_allclose(tau, 0.1 / 200.0, rtol=1e-3)
+
+    def test_diffusion_limit(self):
+        sizes = np.array([[0.1, 0.1, 0.1]])
+        tau = supg_tau(sizes, np.zeros((1, 3)), kappa=1.0)
+        np.testing.assert_allclose(tau, 0.01 / 12.0, rtol=1e-6)
+
+    def test_dt_term_reduces_tau(self):
+        sizes = np.array([[0.1, 0.1, 0.1]])
+        vel = np.array([[1.0, 0.0, 0.0]])
+        t1 = supg_tau(sizes, vel, kappa=1e-3)
+        t2 = supg_tau(sizes, vel, kappa=1e-3, dt=1e-4)
+        assert t2 < t1
+
+
+class TestElementVelocity:
+    def test_constant_field(self):
+        mesh = make_mesh(1)
+        u = np.tile(np.array([1.0, 2.0, 3.0]), (mesh.n_nodes, 1))
+        ev = element_velocity_from_nodal(mesh, u)
+        np.testing.assert_allclose(ev, np.tile([1.0, 2.0, 3.0], (mesh.n_elements, 1)))
+
+    def test_linear_field_gives_centers(self):
+        mesh = make_mesh(2)
+        coords = mesh.node_coords()
+        u = np.stack([coords[:, 0], coords[:, 1], coords[:, 2]], axis=1)
+        ev = element_velocity_from_nodal(mesh, u)
+        np.testing.assert_allclose(ev, mesh.element_centers(), atol=1e-12)
+
+
+class TestAdvectionDiffusion:
+    def test_steady_state_preserved(self):
+        """Pure diffusion with a linear-in-z profile and matching Dirichlet
+        values is a steady state: stepping must not change it."""
+        mesh = make_mesh(2, adapt=True, seed=1)
+        vel = np.zeros((mesh.n_elements, 3))
+        eq = AdvectionDiffusion(mesh, kappa=1.0, vel=vel,
+                                dirichlet=[(2, 0, 1.0), (2, 1, 0.0)])
+        coords = mesh.node_coords()
+        T = (1.0 - coords[:, 2])[mesh.indep_nodes]
+        dt = eq.cfl_dt(0.4)
+        T2 = eq.advance(T, dt, 5)
+        np.testing.assert_allclose(T2, T, atol=1e-10)
+
+    def test_constant_state_preserved_under_advection(self):
+        mesh = make_mesh(2)
+        vel = np.tile([1.0, 0.5, 0.0], (mesh.n_elements, 1))
+        eq = AdvectionDiffusion(mesh, kappa=0.0, vel=vel)
+        T = np.ones(mesh.n_independent)
+        T2 = eq.advance(T, eq.cfl_dt(0.3), 10)
+        np.testing.assert_allclose(T2, 1.0, atol=1e-12)
+
+    def test_maximum_principle_approximately(self):
+        """SUPG keeps over/undershoots of a transported front small."""
+        mesh = make_mesh(3)
+        vel = np.tile([1.0, 0.0, 0.0], (mesh.n_elements, 1))
+        eq = AdvectionDiffusion(mesh, kappa=1e-6, vel=vel)
+        coords = mesh.node_coords()[mesh.indep_nodes]
+        T = 0.5 * (1.0 - np.tanh((coords[:, 0] - 0.3) / 0.1))
+        dt = eq.cfl_dt(0.25)
+        T2 = eq.advance(T, dt, 20)
+        assert T2.max() < 1.25
+        assert T2.min() > -0.25
+
+    def test_front_moves_downstream(self):
+        mesh = make_mesh(3)
+        vel = np.tile([1.0, 0.0, 0.0], (mesh.n_elements, 1))
+        eq = AdvectionDiffusion(mesh, kappa=1e-6, vel=vel)
+        coords = mesh.node_coords()[mesh.indep_nodes]
+        T = np.exp(-(((coords[:, 0] - 0.3) / 0.15) ** 2))
+        dt = eq.cfl_dt(0.25)
+        n = int(0.2 / dt)
+        T2 = eq.advance(T, dt, n)
+        x_peak_before = coords[np.argmax(T), 0]
+        x_peak_after = coords[np.argmax(T2), 0]
+        assert x_peak_after > x_peak_before + 0.05
+
+    def test_diffusion_decays_energy(self):
+        mesh = make_mesh(2)
+        eq = AdvectionDiffusion(mesh, kappa=1.0, vel=np.zeros((mesh.n_elements, 3)),
+                                dirichlet=[(2, 0, 0.0), (2, 1, 0.0)])
+        coords = mesh.node_coords()[mesh.indep_nodes]
+        T = np.sin(np.pi * coords[:, 2])
+        dt = eq.cfl_dt(0.4)
+        T2 = eq.advance(T, dt, 10)
+        assert np.abs(T2).max() < np.abs(T).max()
+
+    def test_source_heats_interior(self):
+        mesh = make_mesh(2)
+        eq = AdvectionDiffusion(
+            mesh, kappa=1.0, vel=np.zeros((mesh.n_elements, 3)),
+            source=10.0, dirichlet=[(2, 0, 0.0), (2, 1, 0.0)]
+        )
+        T = np.zeros(mesh.n_independent)
+        T2 = eq.advance(T, eq.cfl_dt(0.4), 10)
+        assert T2.max() > 0.0
+
+    def test_cfl_dt_scales_with_h(self):
+        dts = []
+        for level in (2, 3):
+            mesh = make_mesh(level)
+            vel = np.tile([1.0, 0.0, 0.0], (mesh.n_elements, 1))
+            eq = AdvectionDiffusion(mesh, kappa=0.0, vel=vel)
+            dts.append(eq.cfl_dt())
+        assert dts[1] == pytest.approx(dts[0] / 2)
+
+    def test_vel_shape_checked(self):
+        mesh = make_mesh(1)
+        with pytest.raises(ValueError):
+            AdvectionDiffusion(mesh, 1.0, np.zeros((3, 3)))
+
+    def test_no_cfl_without_physics(self):
+        mesh = make_mesh(1)
+        eq = AdvectionDiffusion(mesh, kappa=0.0, vel=np.zeros((mesh.n_elements, 3)))
+        with pytest.raises(ValueError):
+            eq.cfl_dt()

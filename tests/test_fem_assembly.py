@@ -1,0 +1,139 @@
+"""Assembly + Poisson patch/convergence tests on adapted meshes."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem import apply_dirichlet, assemble_rhs, assemble_scalar, lumped_mass
+from repro.fem.hexops import ElementOps
+from repro.mesh import extract_mesh
+from repro.octree import LinearOctree, balance
+
+OPS = ElementOps()
+
+
+def adapted_mesh(seed=0, rounds=2, start=1, domain=(1.0, 1.0, 1.0)):
+    rng = np.random.default_rng(seed)
+    tree = LinearOctree.uniform(start)
+    for _ in range(rounds):
+        tree = tree.refine(rng.random(len(tree)) < 0.3)
+    return extract_mesh(balance(tree, "corner").tree, domain)
+
+
+def solve_poisson(mesh, f_exact, u_exact):
+    """Solve -lap u = f with Dirichlet BC from u_exact; return L_inf error
+    at independent nodes."""
+    sizes = mesh.element_sizes()
+    K = assemble_scalar(mesh, OPS.stiffness(sizes))
+    coords = mesh.node_coords()
+    # consistent load: M f with f sampled nodally (2nd-order accurate)
+    Mfull = assemble_scalar(mesh, OPS.mass(sizes), constrain=False)
+    b = mesh.Z.T @ (Mfull @ f_exact(coords))
+    bdofs = mesh.dof_of_node[np.flatnonzero(mesh.boundary_node_mask())]
+    bdofs = np.unique(bdofs[bdofs >= 0])
+    uvals = u_exact(coords[mesh.indep_nodes[bdofs]])
+    K, b = apply_dirichlet(K, b, bdofs, uvals)
+    u = spla.spsolve(K.tocsc(), b)
+    return np.abs(u - u_exact(coords[mesh.indep_nodes])).max()
+
+
+class TestPatch:
+    def test_linear_patch_exact_on_adapted_mesh(self):
+        """Linear solutions are reproduced exactly, hanging nodes and all
+        (the classic patch test for nonconforming constraints)."""
+        mesh = adapted_mesh(seed=5)
+        err = solve_poisson(
+            mesh,
+            f_exact=lambda c: np.zeros(len(c)),
+            u_exact=lambda c: 2 * c[:, 0] - c[:, 1] + 3 * c[:, 2] + 1,
+        )
+        assert err < 1e-9
+
+    def test_patch_on_scaled_domain(self):
+        mesh = adapted_mesh(seed=2, domain=(8.0, 4.0, 1.0))
+        err = solve_poisson(
+            mesh,
+            f_exact=lambda c: np.zeros(len(c)),
+            u_exact=lambda c: 0.5 * c[:, 0] + c[:, 2],
+        )
+        assert err < 1e-9
+
+
+class TestConvergence:
+    def test_h2_convergence_uniform(self):
+        """Manufactured u = sin(pi x) sin(pi y) sin(pi z) converges at
+        O(h^2) in the max norm on uniform meshes."""
+
+        def u_exact(c):
+            return np.sin(np.pi * c[:, 0]) * np.sin(np.pi * c[:, 1]) * np.sin(np.pi * c[:, 2])
+
+        def f_exact(c):
+            return 3 * np.pi**2 * u_exact(c)
+
+        errs = []
+        for lvl in (2, 3):
+            mesh = extract_mesh(LinearOctree.uniform(lvl))
+            errs.append(solve_poisson(mesh, f_exact, u_exact))
+        rate = np.log2(errs[0] / errs[1])
+        assert 1.6 < rate < 2.6
+
+    def test_adapted_mesh_solution_reasonable(self):
+        def u_exact(c):
+            return np.sin(np.pi * c[:, 0]) * np.sin(np.pi * c[:, 1]) * np.sin(np.pi * c[:, 2])
+
+        def f_exact(c):
+            return 3 * np.pi**2 * u_exact(c)
+
+        mesh = adapted_mesh(seed=1, rounds=2, start=2)
+        err = solve_poisson(mesh, f_exact, u_exact)
+        assert err < 0.05
+
+
+class TestLumpedMass:
+    def test_total_mass(self):
+        mesh = adapted_mesh(seed=3, domain=(2.0, 1.0, 1.0))
+        ml = lumped_mass(mesh, OPS.mass(mesh.element_sizes()))
+        np.testing.assert_allclose(ml.sum(), 2.0, rtol=1e-12)
+
+    def test_positive(self):
+        mesh = adapted_mesh(seed=4)
+        ml = lumped_mass(mesh, OPS.mass(mesh.element_sizes()))
+        assert ml.min() > 0
+
+
+class TestRhs:
+    def test_constant_load_total(self):
+        mesh = adapted_mesh(seed=6)
+        load = OPS.mass(mesh.element_sizes()).sum(axis=2)  # int N_i per elem
+        b = assemble_rhs(mesh, load)
+        # sum over constrained rhs = integral of 1 (Z^T preserves totals
+        # since Z rows sum to 1 and column sums distribute)
+        np.testing.assert_allclose(b.sum(), 1.0, rtol=1e-12)
+
+    def test_shape_checks(self):
+        mesh = adapted_mesh(seed=6)
+        with pytest.raises(ValueError):
+            assemble_rhs(mesh, np.zeros((3, 8)))
+        with pytest.raises(ValueError):
+            assemble_scalar(mesh, np.zeros((3, 8, 8)))
+
+
+class TestDirichletHelper:
+    def test_values_and_symmetry(self):
+        mesh = extract_mesh(LinearOctree.uniform(1))
+        K = assemble_scalar(mesh, OPS.stiffness(mesh.element_sizes()))
+        b = np.zeros(mesh.n_independent)
+        dofs = np.array([0, 5])
+        K2, b2 = apply_dirichlet(K, b, dofs, np.array([1.0, 2.0]))
+        assert (abs(K2 - K2.T) > 1e-14).nnz == 0
+        x = spla.spsolve(K2.tocsc(), b2)
+        assert x[0] == pytest.approx(1.0)
+        assert x[5] == pytest.approx(2.0)
+
+    def test_boolean_mask_accepted(self):
+        mesh = extract_mesh(LinearOctree.uniform(1))
+        K = assemble_scalar(mesh, OPS.stiffness(mesh.element_sizes()))
+        mask = np.zeros(mesh.n_independent, dtype=bool)
+        mask[3] = True
+        K2, _ = apply_dirichlet(K, None, mask)
+        assert K2[3, 3] == 1.0

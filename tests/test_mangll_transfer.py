@@ -1,0 +1,97 @@
+"""Tests for DG field transfer between nested forests."""
+
+import numpy as np
+import pytest
+
+from repro.forest import Forest, cubed_sphere_connectivity, unit_cube
+from repro.mangll import DGAdvection, dg_transfer, solid_body_rotation
+
+
+def wind(x):
+    return np.broadcast_to([1.0, 0.0, 0.0], x.shape).copy()
+
+
+def make_pair(p=3, seed=0):
+    """A forest and a refined+balanced version of it, with DG on both."""
+    f1 = Forest.uniform(unit_cube(), 1)
+    rng = np.random.default_rng(seed)
+    f2, _ = f1.refine(rng.random(len(f1)) < 0.5).balance()
+    dg1 = DGAdvection(f1, p, wind)
+    dg2 = DGAdvection(f2, p, wind)
+    return dg1, dg2
+
+
+class TestRefinementTransfer:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_exact_for_polynomials(self, p):
+        """Refinement transfer reproduces any degree-p tensor polynomial
+        exactly (the polynomial space embeds)."""
+        dg1, dg2 = make_pair(p=p)
+
+        def poly(x):
+            return (x[:, 0] ** p + 2 * x[:, 1] - x[:, 2] ** min(p, 2) + 0.5)
+
+        u1 = poly(dg1.nodes())
+        u2 = dg_transfer(dg1, u1, dg2)
+        np.testing.assert_allclose(u2, poly(dg2.nodes()), atol=1e-10)
+
+    def test_identity_on_same_forest(self):
+        dg1, _ = make_pair()
+        u = np.random.default_rng(1).standard_normal(dg1.n_dof)
+        np.testing.assert_allclose(dg_transfer(dg1, u, dg1), u, atol=1e-12)
+
+    def test_mass_preserved_under_refinement(self):
+        """Exact embedding preserves integrals."""
+        dg1, dg2 = make_pair(p=3, seed=2)
+        u1 = np.exp(-np.sum((dg1.nodes() - 0.4) ** 2, axis=1) / 0.05)
+        u2 = dg_transfer(dg1, u1, dg2)
+        # not exactly equal (u1 is not a polynomial) but very close
+        assert abs(dg1.total_mass(u1) - dg2.total_mass(u2)) < 2e-3 * abs(
+            dg1.total_mass(u1)
+        )
+
+
+class TestCoarseningTransfer:
+    def test_constants_preserved(self):
+        dg1, dg2 = make_pair(p=2, seed=3)
+        # coarsen: transfer from the finer dg2 back to dg1
+        u2 = np.full(dg2.n_dof, 4.2)
+        u1 = dg_transfer(dg2, u2, dg1)
+        np.testing.assert_allclose(u1, 4.2, atol=1e-12)
+
+    def test_linears_preserved(self):
+        """Nodal injection samples exactly for fields continuous across
+        the fine elements."""
+        dg1, dg2 = make_pair(p=2, seed=4)
+
+        def lin(x):
+            return 2 * x[:, 0] - x[:, 1] + 0.25 * x[:, 2]
+
+        u2 = lin(dg2.nodes())
+        u1 = dg_transfer(dg2, u2, dg1)
+        np.testing.assert_allclose(u1, lin(dg1.nodes()), atol=1e-10)
+
+
+class TestValidation:
+    def test_order_mismatch_rejected(self):
+        f = Forest.uniform(unit_cube(), 1)
+        dg1 = DGAdvection(f, 2, wind)
+        dg2 = DGAdvection(f, 3, wind)
+        with pytest.raises(ValueError):
+            dg_transfer(dg1, np.zeros(dg1.n_dof), dg2)
+
+
+class TestSphereTransfer:
+    def test_round_trip_on_sphere(self):
+        conn = cubed_sphere_connectivity(r_inner=0.6, r_outer=1.0)
+        f1 = Forest.uniform(conn, 0)
+        rng = np.random.default_rng(5)
+        f2, _ = f1.refine(rng.random(len(f1)) < 0.4).balance()
+        w = solid_body_rotation()
+        dg1 = DGAdvection(f1, 2, w)
+        dg2 = DGAdvection(f2, 2, w)
+        u1 = np.exp(-np.sum((dg1.nodes() - 0.5) ** 2, axis=1) / 0.1)
+        u2 = dg_transfer(dg1, u1, dg2)
+        back = dg_transfer(dg2, u2, dg1)
+        # refine-then-coarsen is the identity on the coarse space
+        np.testing.assert_allclose(back, u1, atol=1e-9)

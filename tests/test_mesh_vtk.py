@@ -1,0 +1,66 @@
+"""Tests for VTK export."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import extract_mesh, write_vtk
+from repro.octree import LinearOctree, balance
+
+
+def small_mesh():
+    t = LinearOctree.uniform(1)
+    mask = np.zeros(8, dtype=bool)
+    mask[0] = True
+    return extract_mesh(balance(t.refine(mask), "corner").tree)
+
+
+class TestWriteVtk:
+    def test_structure(self, tmp_path):
+        mesh = small_mesh()
+        path = tmp_path / "mesh.vtk"
+        T = mesh.node_coords()[:, 2]
+        write_vtk(
+            str(path), mesh,
+            point_fields={"T": T},
+            cell_fields={"level": mesh.leaves.level.astype(float)},
+        )
+        text = path.read_text().splitlines()
+        assert text[0].startswith("# vtk DataFile")
+        assert "DATASET UNSTRUCTURED_GRID" in text
+        assert f"POINTS {mesh.n_nodes} double" in text
+        assert f"CELLS {mesh.n_elements} {mesh.n_elements * 9}" in text
+        assert f"CELL_TYPES {mesh.n_elements}" in text
+        assert f"POINT_DATA {mesh.n_nodes}" in text
+        assert f"CELL_DATA {mesh.n_elements}" in text
+        # every cell line lists 8 vertices with valid indices
+        start = text.index(f"CELLS {mesh.n_elements} {mesh.n_elements * 9}") + 1
+        for line in text[start : start + mesh.n_elements]:
+            parts = line.split()
+            assert parts[0] == "8"
+            idx = list(map(int, parts[1:]))
+            assert len(idx) == 8
+            assert max(idx) < mesh.n_nodes and min(idx) >= 0
+
+    def test_vtk_hex_ordering_is_right_handed(self, tmp_path):
+        """The bottom quad (first 4 vertices) must be CCW seen from above
+        (VTK_HEXAHEDRON convention) — signed volume positive."""
+        mesh = extract_mesh(LinearOctree.uniform(0))
+        path = tmp_path / "one.vtk"
+        write_vtk(str(path), mesh)
+        lines = path.read_text().splitlines()
+        cell_line = lines[lines.index("CELLS 1 9") + 1]
+        order = list(map(int, cell_line.split()[1:]))
+        pts = mesh.node_coords()[order]
+        # bottom face CCW: cross product of consecutive edges points +z
+        e1 = pts[1] - pts[0]
+        e2 = pts[2] - pts[1]
+        assert np.cross(e1, e2)[2] > 0
+        # top directly above bottom
+        np.testing.assert_allclose(pts[4:, :2], pts[:4, :2])
+
+    def test_field_length_validation(self, tmp_path):
+        mesh = small_mesh()
+        with pytest.raises(ValueError):
+            write_vtk(str(tmp_path / "x.vtk"), mesh, point_fields={"b": np.zeros(3)})
+        with pytest.raises(ValueError):
+            write_vtk(str(tmp_path / "y.vtk"), mesh, cell_fields={"c": np.zeros(3)})

@@ -1,0 +1,66 @@
+"""Tests for complete_from (minimal octree completion from seeds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import LinearOctree, OctantArray, ROOT_LEN, complete_from
+
+
+class TestCompleteFrom:
+    def test_empty_gives_root(self):
+        t = complete_from(OctantArray.empty())
+        assert len(t) == 1
+        assert t.is_complete()
+
+    def test_root_seed(self):
+        t = complete_from(OctantArray.root())
+        assert len(t) == 1
+
+    def test_single_deep_seed(self):
+        h = ROOT_LEN >> 4
+        seed = OctantArray([0], [0], [0], [4])
+        t = complete_from(seed)
+        assert t.is_complete()
+        # the seed is a leaf of the result
+        idx = t.find_containing(np.array([0]), np.array([0]), np.array([0]))[0]
+        assert t.levels[idx] == 4
+        # minimality: only the ancestor chain was split -> 1 + 7*4 leaves
+        assert len(t) == 1 + 7 * 4
+
+    def test_seeds_preserved_as_leaves(self):
+        rng = np.random.default_rng(0)
+        # pick random disjoint seeds by refining a reference tree
+        ref = LinearOctree.uniform(2)
+        for _ in range(2):
+            ref = ref.refine(rng.random(len(ref)) < 0.2)
+        pick = rng.random(len(ref)) < 0.1
+        seeds = ref.leaves[pick]
+        t = complete_from(seeds)
+        assert t.is_complete()
+        pos = np.searchsorted(t.keys, seeds.keys())
+        np.testing.assert_array_equal(t.keys[pos], seeds.keys())
+        np.testing.assert_array_equal(t.levels[pos], seeds.level)
+
+    def test_overlapping_seeds_rejected(self):
+        a = OctantArray([0, 0], [0, 0], [0, 0], [1, 2])  # nested
+        with pytest.raises(ValueError):
+            complete_from(a)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_seed_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        ref = LinearOctree.uniform(1)
+        for _ in range(3):
+            ref = ref.refine(rng.random(len(ref)) < 0.3)
+        pick = rng.random(len(ref)) < 0.15
+        seeds = ref.leaves[pick]
+        t = complete_from(seeds)
+        assert t.is_complete()
+        if len(seeds):
+            pos = np.searchsorted(t.keys, seeds.keys())
+            np.testing.assert_array_equal(t.levels[pos], seeds.level)
+            # minimality: no leaf deeper than the deepest seed
+            assert t.levels.max() <= seeds.level.max()

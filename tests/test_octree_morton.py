@@ -1,0 +1,90 @@
+"""Unit + property tests for Morton encoding (repro.octree.morton)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.morton import (
+    MAX_LEVEL,
+    ROOT_LEN,
+    compact3,
+    key_range_size,
+    morton_decode,
+    morton_encode,
+    octant_length,
+    spread3,
+)
+
+coord = st.integers(min_value=0, max_value=ROOT_LEN - 1)
+
+
+class TestSpreadCompact:
+    def test_spread_zero_one(self):
+        assert spread3(np.array([0]))[0] == 0
+        assert spread3(np.array([1]))[0] == 1
+        assert spread3(np.array([2]))[0] == 8  # bit 1 -> bit 3
+
+    def test_compact_inverts_spread(self):
+        v = np.arange(0, ROOT_LEN, 104729, dtype=np.uint64)  # stride by a prime
+        np.testing.assert_array_equal(compact3(spread3(v)), v)
+
+    def test_top_bit(self):
+        v = np.array([ROOT_LEN - 1], dtype=np.uint64)
+        s = spread3(v)
+        assert compact3(s)[0] == ROOT_LEN - 1
+
+
+class TestEncodeDecode:
+    @given(coord, coord, coord)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, x, y, z):
+        k = morton_encode(np.array([x]), np.array([y]), np.array([z]))
+        xd, yd, zd = morton_decode(k)
+        assert (xd[0], yd[0], zd[0]) == (x, y, z)
+
+    def test_axis_significance(self):
+        """z is the most significant axis: (z,y,x) traversal order."""
+        kx = morton_encode(np.array([1]), np.array([0]), np.array([0]))[0]
+        ky = morton_encode(np.array([0]), np.array([1]), np.array([0]))[0]
+        kz = morton_encode(np.array([0]), np.array([0]), np.array([1]))[0]
+        assert kx < ky < kz
+
+    def test_encode_is_monotone_on_diagonal(self):
+        v = np.arange(100, dtype=np.int64)
+        keys = morton_encode(v, v, v)
+        assert np.all(np.diff(keys.astype(np.float64)) > 0)
+
+    def test_max_key_fits_uint64(self):
+        m = ROOT_LEN - 1
+        k = morton_encode(np.array([m]), np.array([m]), np.array([m]))[0]
+        assert int(k) == (1 << (3 * MAX_LEVEL)) - 1
+
+    @given(coord, coord, coord, coord, coord, coord)
+    @settings(max_examples=100, deadline=None)
+    def test_containment_iff_key_interval(self, x, y, z, px, py, pz):
+        """A point lies in an octant's cube iff its key lies in the
+        octant's Morton interval — the fundamental linear-octree fact."""
+        level = 3
+        h = ROOT_LEN >> level
+        ax, ay, az = (x // h) * h, (y // h) * h, (z // h) * h
+        inside_cube = (
+            ax <= px < ax + h and ay <= py < ay + h and az <= pz < az + h
+        )
+        k0 = int(morton_encode(np.array([ax]), np.array([ay]), np.array([az]))[0])
+        pk = int(morton_encode(np.array([px]), np.array([py]), np.array([pz]))[0])
+        inside_interval = k0 <= pk < k0 + int(key_range_size(level))
+        assert inside_cube == inside_interval
+
+
+class TestSizes:
+    def test_octant_length(self):
+        assert octant_length(0) == ROOT_LEN
+        assert octant_length(MAX_LEVEL) == 1
+        np.testing.assert_array_equal(
+            octant_length(np.array([1, 2])), [ROOT_LEN // 2, ROOT_LEN // 4]
+        )
+
+    def test_key_range_size(self):
+        assert int(key_range_size(MAX_LEVEL)) == 1
+        assert int(key_range_size(0)) == 1 << (3 * MAX_LEVEL)
+        assert int(key_range_size(1)) * 8 == int(key_range_size(0))

@@ -1,0 +1,152 @@
+"""Unit tests for OctantArray (repro.octree.octants)."""
+
+import numpy as np
+import pytest
+
+from repro.octree import MAX_LEVEL, ROOT_LEN, OctantArray, directions_for
+
+
+class TestConstructors:
+    def test_root(self):
+        r = OctantArray.root()
+        assert len(r) == 1
+        assert r.level[0] == 0
+        assert r.lengths()[0] == ROOT_LEN
+        assert r.is_valid()
+
+    def test_empty(self):
+        e = OctantArray.empty()
+        assert len(e) == 0
+        assert e.is_valid()
+
+    def test_uniform_count_and_order(self):
+        u = OctantArray.uniform(2)
+        assert len(u) == 64
+        assert u.is_valid()
+        keys = u.keys()
+        assert np.all(np.diff(keys.astype(object)) > 0)  # strictly increasing
+
+    def test_uniform_level_bounds(self):
+        with pytest.raises(ValueError):
+            OctantArray.uniform(-1)
+        with pytest.raises(ValueError):
+            OctantArray.uniform(MAX_LEVEL + 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OctantArray([0, 1], [0], [0], [0])
+
+
+class TestTreeRelations:
+    def test_children_cover_parent(self):
+        p = OctantArray([0], [0], [0], [3])
+        c = p.children()
+        assert len(c) == 8
+        assert np.all(c.level == 4)
+        # children tile the parent's key interval exactly
+        start, end = c.sort().key_ranges()
+        ps, pe = p.key_ranges()
+        assert start[0] == ps[0] and end[-1] == pe[0]
+        assert np.all(end[:-1] == start[1:])
+
+    def test_children_morton_order_within_family(self):
+        p = OctantArray.uniform(1)
+        c = p.children()
+        for i in range(len(p)):
+            fam = c[8 * i : 8 * i + 8]
+            k = fam.keys()
+            assert np.all(np.diff(k.astype(object)) > 0)
+
+    def test_parent_of_children_is_self(self):
+        p = OctantArray.uniform(2)
+        c = p.children()
+        back = c.parents()
+        # every child's parent equals the original octant
+        np.testing.assert_array_equal(back.x, np.repeat(p.x, 8))
+        np.testing.assert_array_equal(back.level, np.repeat(p.level, 8))
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            OctantArray.root().parents()
+
+    def test_cannot_refine_past_max_level(self):
+        o = OctantArray([0], [0], [0], [MAX_LEVEL])
+        with pytest.raises(ValueError):
+            o.children()
+
+    def test_sibling_ids(self):
+        p = OctantArray([0], [0], [0], [0])
+        c = p.children()
+        np.testing.assert_array_equal(c.sibling_ids(), np.arange(8))
+
+    def test_ancestors_at(self):
+        o = OctantArray([ROOT_LEN // 2 + ROOT_LEN // 4], [0], [0], [2])
+        a = o.ancestors_at(1)
+        assert a.x[0] == ROOT_LEN // 2 and a.level[0] == 1
+        same = o.ancestors_at(2)
+        assert same.x[0] == o.x[0]
+        with pytest.raises(ValueError):
+            o.ancestors_at(3)
+
+
+class TestGeometry:
+    def test_centers_of_root(self):
+        np.testing.assert_allclose(OctantArray.root().centers(), [[0.5, 0.5, 0.5]])
+
+    def test_corners_unit(self):
+        c = OctantArray.root().corners_unit()
+        assert c.shape == (1, 8, 3)
+        np.testing.assert_allclose(c[0, 0], [0, 0, 0])
+        np.testing.assert_allclose(c[0, 7], [1, 1, 1])
+        np.testing.assert_allclose(c[0, 1], [1, 0, 0])  # x fastest
+
+    def test_neighbor_anchors_and_domain_mask(self):
+        u = OctantArray.uniform(1)  # 8 octants of half size
+        nx, ny, nz, ok = u.neighbor_anchors(np.array([1, 0, 0]))
+        # the 4 octants at x=0 have a valid +x neighbor, the rest fall out
+        assert ok.sum() == 4
+        assert np.all(nx[ok] == ROOT_LEN // 2)
+
+    def test_is_valid_rejects_misaligned(self):
+        o = OctantArray([3], [0], [0], [1])  # anchor not multiple of length
+        assert not o.is_valid()
+
+    def test_is_valid_rejects_out_of_domain(self):
+        o = OctantArray([ROOT_LEN], [0], [0], [1])
+        assert not o.is_valid()
+
+
+class TestProtocol:
+    def test_sort_by_key(self):
+        u = OctantArray.uniform(1)
+        rev = u[np.arange(len(u))[::-1]]
+        s = rev.sort()
+        assert s.equals(u)
+
+    def test_concat_and_getitem(self):
+        a = OctantArray.uniform(1)
+        b = OctantArray.concat([a[:3], a[3:]])
+        assert b.equals(a)
+        assert OctantArray.concat([]).equals(OctantArray.empty())
+
+    def test_copy_independent(self):
+        a = OctantArray.uniform(1)
+        b = a.copy()
+        b.x[0] = 99
+        assert a.x[0] != 99
+
+    def test_equals(self):
+        a = OctantArray.uniform(1)
+        assert a.equals(a.copy())
+        assert not a.equals(a[:4])
+
+
+class TestDirections:
+    def test_counts(self):
+        assert len(directions_for("face")) == 6
+        assert len(directions_for("edge")) == 18
+        assert len(directions_for("corner")) == 26
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            directions_for("diagonal")

@@ -1,0 +1,250 @@
+"""Unit tests for the simulated-MPI substrate (repro.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    RANGER,
+    CommStats,
+    MachineModel,
+    merge_stats,
+    payload_nbytes,
+    run_spmd,
+    run_spmd_with_comms,
+)
+
+
+class TestRunSpmd:
+    def test_single_rank_inline(self):
+        out = run_spmd(1, lambda comm: comm.rank * 10 + comm.size)
+        assert out == [1]
+
+    def test_rank_and_size(self):
+        out = run_spmd(5, lambda comm: (comm.rank, comm.size))
+        assert out == [(r, 5) for r in range(5)]
+
+    def test_exception_propagates(self):
+        def kernel(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()  # would deadlock without abort handling
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(4, kernel)
+
+    def test_invalid_nranks(self):
+        from repro.parallel import SimWorld
+
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+
+class TestCollectives:
+    def test_allgather_order(self):
+        out = run_spmd(4, lambda comm: comm.allgather(comm.rank * 2))
+        for res in out:
+            assert res == [0, 2, 4, 6]
+
+    def test_allreduce_sum_scalar(self):
+        out = run_spmd(6, lambda comm: comm.allreduce(comm.rank + 1))
+        assert all(r == 21 for r in out)
+
+    def test_allreduce_min_max(self):
+        out = run_spmd(
+            4, lambda comm: (comm.allreduce(comm.rank, "min"), comm.allreduce(comm.rank, "max"))
+        )
+        assert all(r == (0, 3) for r in out)
+
+    def test_allreduce_lor_land(self):
+        out = run_spmd(
+            3,
+            lambda comm: (
+                comm.allreduce(comm.rank == 1, "lor"),
+                comm.allreduce(comm.rank < 5, "land"),
+            ),
+        )
+        assert all(r == (True, True) for r in out)
+
+    def test_allreduce_array(self):
+        def kernel(comm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=np.int64))
+
+        out = run_spmd(4, kernel)
+        for res in out:
+            np.testing.assert_array_equal(res, [6, 6, 6])
+
+    def test_allreduce_does_not_mutate_input(self):
+        def kernel(comm):
+            v = np.full(3, comm.rank, dtype=np.int64)
+            comm.allreduce(v)
+            return v
+
+        out = run_spmd(3, kernel)
+        for r, res in enumerate(out):
+            np.testing.assert_array_equal(res, np.full(3, r))
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(1, lambda comm: comm.allreduce(1, op="xor"))
+
+    def test_exscan(self):
+        out = run_spmd(5, lambda comm: comm.exscan(comm.rank + 1))
+        assert out == [0, 1, 3, 6, 10]
+
+    def test_bcast(self):
+        out = run_spmd(4, lambda comm: comm.bcast("hello" if comm.rank == 1 else None, root=1))
+        assert out == ["hello"] * 4
+
+    def test_gather_only_root(self):
+        out = run_spmd(3, lambda comm: comm.gather(comm.rank, root=2))
+        assert out == [None, None, [0, 1, 2]]
+
+    def test_alltoall_transpose(self):
+        def kernel(comm):
+            send = [f"{comm.rank}->{j}" for j in range(comm.size)]
+            return comm.alltoall(send)
+
+        out = run_spmd(3, kernel)
+        for j, res in enumerate(out):
+            assert res == [f"{i}->{j}" for i in range(3)]
+
+    def test_alltoall_length_check(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda comm: comm.alltoall([1]))
+
+    def test_back_to_back_collectives_no_slot_corruption(self):
+        def kernel(comm):
+            a = comm.allgather(comm.rank)
+            b = comm.allgather(comm.rank * 100)
+            c = comm.allreduce(1)
+            return a, b, c
+
+        out = run_spmd(4, kernel)
+        for a, b, c in out:
+            assert a == [0, 1, 2, 3]
+            assert b == [0, 100, 200, 300]
+            assert c == 4
+
+    def test_global_offsets(self):
+        def kernel(comm):
+            return comm.global_offsets(comm.rank + 1)
+
+        out = run_spmd(4, kernel)
+        assert out == [(0, 10), (1, 10), (3, 10), (6, 10)]
+
+    def test_allgather_concat(self):
+        def kernel(comm):
+            return comm.allgather_concat(np.arange(comm.rank))
+
+        out = run_spmd(3, kernel)
+        np.testing.assert_array_equal(out[0], [0, 0, 1])
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def kernel(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.array([comm.rank]), right)
+            got = comm.recv(left)
+            return int(got[0])
+
+        out = run_spmd(4, kernel)
+        assert out == [3, 0, 1, 2]
+
+    def test_tags_separate_messages(self):
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=7)
+                comm.send("b", 1, tag=9)
+                return None
+            b = comm.recv(0, tag=9)
+            a = comm.recv(0, tag=7)
+            return a + b
+
+        out = run_spmd(2, kernel)
+        assert out[1] == "ab"
+
+    def test_invalid_dest(self):
+        with pytest.raises(ValueError):
+            run_spmd(1, lambda comm: comm.send(1, 5))
+
+
+class TestStats:
+    def test_payload_nbytes(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes({"a": np.zeros(1)}) > 8
+
+    def test_stats_recorded(self):
+        def kernel(comm):
+            comm.allgather(np.zeros(4))
+            comm.allreduce(1.0)
+            if comm.size > 1:
+                comm.send(np.zeros(8), (comm.rank + 1) % comm.size)
+                comm.recv((comm.rank - 1) % comm.size)
+            return None
+
+        _, comms = run_spmd_with_comms(2, kernel)
+        s = comms[0].stats
+        assert s.collective_calls["allgather"] == 1
+        assert s.collective_bytes["allgather"] == 32
+        assert s.p2p_messages == 1
+        assert s.p2p_bytes == 64
+
+    def test_snapshot_and_since(self):
+        s = CommStats()
+        s.record_collective("allreduce", 8)
+        snap = s.snapshot()
+        s.record_collective("allreduce", 8)
+        s.record_p2p(100)
+        d = s.since(snap)
+        assert d.collective_calls["allreduce"] == 1
+        assert d.p2p_bytes == 100
+
+    def test_merge(self):
+        a, b = CommStats(), CommStats()
+        a.record_p2p(10)
+        b.record_p2p(20)
+        b.record_collective("barrier", 0)
+        m = merge_stats([a, b])
+        assert m.p2p_bytes == 30
+        assert m.collective_calls["barrier"] == 1
+
+    def test_flops(self):
+        s = CommStats()
+        s.add_flops(1e6)
+        assert s.flops == 1e6
+
+
+class TestMachineModel:
+    def test_collective_costs_scale_with_p(self):
+        m = RANGER
+        t64 = m.t_collective("allreduce", 8, 64)
+        t4096 = m.t_collective("allreduce", 8, 4096)
+        assert t4096 > t64 > 0
+
+    def test_p1_is_free(self):
+        assert RANGER.t_collective("allgather", 1000, 1) == 0.0
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            RANGER.t_collective("nope", 1, 2)
+
+    def test_t_total_combines(self):
+        s = CommStats()
+        s.add_flops(1e9)
+        s.record_collective("allreduce", 8)
+        m = MachineModel(flop_rate=1e9)
+        t = m.t_total(s, 1024)
+        assert t > 1.0  # 1 GF at 1 GF/s plus comm
+
+    def test_comm_pricing_uses_per_call_bytes(self):
+        s = CommStats()
+        for _ in range(10):
+            s.record_collective("allgather", 8)
+        single = RANGER.t_collective("allgather", 8, 256)
+        assert RANGER.t_comm(s, 256) == pytest.approx(10 * single)

@@ -1,0 +1,138 @@
+"""Tests for smoothed-aggregation AMG."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import apply_dirichlet, assemble_scalar
+from repro.fem.hexops import ElementOps
+from repro.mesh import extract_mesh
+from repro.octree import LinearOctree, balance
+from repro.solvers import SmoothedAggregationAMG, aggregate, strength_graph
+
+OPS = ElementOps()
+
+
+def laplace_7pt(n):
+    """Standard 7-point Laplacian on an n^3 grid (the Fig. 9 reference)."""
+    e = np.ones(n)
+    T = sp.diags([-e[:-1], 2 * e, -e[:-1]], [-1, 0, 1])
+    I = sp.identity(n)
+    return sp.csr_matrix(
+        sp.kron(sp.kron(T, I), I) + sp.kron(sp.kron(I, T), I) + sp.kron(sp.kron(I, I), T)
+    )
+
+
+def poisson_fem(level=3, viscosity_contrast=1.0, seed=0):
+    """Variable-coefficient FEM Poisson on an adapted mesh with Dirichlet
+    boundary (the actual preconditioner block of the Stokes solver)."""
+    rng = np.random.default_rng(seed)
+    tree = LinearOctree.uniform(level)
+    tree = tree.refine(rng.random(len(tree)) < 0.2)
+    tree = balance(tree, "corner").tree
+    mesh = extract_mesh(tree)
+    eta = np.exp(rng.uniform(0, np.log(viscosity_contrast + 1e-300), mesh.n_elements)) \
+        if viscosity_contrast > 1 else np.ones(mesh.n_elements)
+    K = assemble_scalar(mesh, OPS.stiffness(mesh.element_sizes(), eta))
+    bdofs = mesh.dof_of_node[np.flatnonzero(mesh.boundary_node_mask())]
+    bdofs = np.unique(bdofs[bdofs >= 0])
+    K, _ = apply_dirichlet(K, None, bdofs)
+    return sp.csr_matrix(K)
+
+
+class TestStrengthAndAggregation:
+    def test_strength_graph_symmetric_no_diag(self):
+        A = laplace_7pt(5)
+        S = strength_graph(A, 0.1)
+        assert (abs(S - S.T)).nnz == 0
+        assert S.diagonal().sum() == 0
+
+    def test_aggregate_covers_all_nodes(self):
+        A = laplace_7pt(6)
+        S = strength_graph(A, 0.1)
+        agg, n_agg = aggregate(S)
+        assert agg.min() >= 0
+        assert agg.max() == n_agg - 1
+        assert 1 < n_agg < A.shape[0]
+
+    def test_aggregates_nontrivial_size(self):
+        A = laplace_7pt(8)
+        agg, n_agg = aggregate(strength_graph(A, 0.1))
+        # SA on a 7-pt stencil should coarsen by roughly 8-27x
+        assert A.shape[0] / n_agg > 3
+
+
+class TestHierarchy:
+    def test_multiple_levels(self):
+        amg = SmoothedAggregationAMG(laplace_7pt(10), max_coarse=30)
+        assert amg.n_levels >= 3
+        sizes = amg.grid_sizes()
+        assert all(sizes[i] > sizes[i + 1] for i in range(len(sizes) - 1))
+        assert sizes[-1] <= 30 or amg.n_levels == 20
+
+    def test_operator_complexity_bounded(self):
+        amg = SmoothedAggregationAMG(laplace_7pt(10))
+        assert 1.0 <= amg.operator_complexity < 3.5
+
+
+class TestVcycle:
+    def test_vcycle_is_symmetric_operator(self):
+        """Symmetry of the V-cycle (needed for MINRES preconditioning)."""
+        A = laplace_7pt(5)
+        amg = SmoothedAggregationAMG(A, max_coarse=20)
+        rng = np.random.default_rng(0)
+        x, y = rng.standard_normal((2, A.shape[0]))
+        lhs = x @ amg.vcycle(y)
+        rhs = y @ amg.vcycle(x)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_vcycle_positive_definite(self):
+        A = laplace_7pt(4)
+        amg = SmoothedAggregationAMG(A, max_coarse=10)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            r = rng.standard_normal(A.shape[0])
+            assert r @ amg.vcycle(r) > 0
+
+    def test_solve_laplace(self):
+        A = laplace_7pt(8)
+        amg = SmoothedAggregationAMG(A)
+        b = np.ones(A.shape[0])
+        x, its, ok = amg.solve(b, tol=1e-8, maxiter=60)
+        assert ok
+        assert np.linalg.norm(b - A @ x) <= 1e-7 * np.linalg.norm(b)
+
+    def test_convergence_factor_bounded(self):
+        """V-cycle iteration count grows slowly (bounded factor) as the
+        grid refines — the property behind Fig. 2's flat iteration
+        counts."""
+        its = []
+        for n in (6, 12):
+            A = laplace_7pt(n)
+            amg = SmoothedAggregationAMG(A)
+            _, k, ok = amg.solve(np.ones(A.shape[0]), tol=1e-8, maxiter=100)
+            assert ok
+            its.append(k)
+        assert its[1] <= its[0] + 10
+
+    def test_variable_viscosity_fem_poisson(self):
+        """AMG handles the adapted-mesh, 10^4-contrast coefficient Poisson
+        block (the hard case the paper highlights)."""
+        A = poisson_fem(level=2, viscosity_contrast=1e4, seed=3)
+        amg = SmoothedAggregationAMG(A)
+        b = np.ones(A.shape[0])
+        x, its, ok = amg.solve(b, tol=1e-8, maxiter=100)
+        assert ok
+        assert its < 60
+
+    def test_zero_rhs(self):
+        A = laplace_7pt(4)
+        amg = SmoothedAggregationAMG(A)
+        x, its, ok = amg.solve(np.zeros(A.shape[0]))
+        assert ok and its == 0
+        np.testing.assert_array_equal(x, 0.0)
+
+    def test_tiny_matrix_direct(self):
+        A = sp.csr_matrix(np.diag([2.0, 3.0]))
+        amg = SmoothedAggregationAMG(A, max_coarse=10)
+        np.testing.assert_allclose(amg.vcycle(np.array([2.0, 3.0])), [1.0, 1.0])

@@ -1,0 +1,62 @@
+"""Tests for the explicit time integrators."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import LowStorageRK45, heun_step
+
+
+class TestHeun:
+    def test_exact_for_linear_rate(self):
+        """du/dt = c is integrated exactly."""
+        u = heun_step(lambda u: np.array([2.0]), np.array([1.0]), 0.5)
+        assert u[0] == pytest.approx(2.0)
+
+    def test_second_order_on_exponential(self):
+        """Heun is O(dt^2) accurate: halving dt cuts error ~4x."""
+        errs = []
+        for n in (20, 40):
+            u = np.array([1.0])
+            dt = 1.0 / n
+            for _ in range(n):
+                u = heun_step(lambda v: v, u, dt)
+            errs.append(abs(u[0] - np.e))
+        assert errs[0] / errs[1] > 3.0
+
+
+class TestLowStorageRK45:
+    def test_coefficients_consistency(self):
+        """B coefficients of a consistent RK scheme relate to C stages."""
+        rk = LowStorageRK45()
+        assert len(rk.A) == len(rk.B) == len(rk.C) == 5
+        assert rk.A[0] == 0.0
+        assert rk.C[0] == 0.0
+
+    def test_exact_on_polynomial_rates(self):
+        """4th order: integrates du/dt = t^3 exactly."""
+        rk = LowStorageRK45()
+        u = rk.step(lambda v, t: np.array([t**3]), np.array([0.0]), 0.0, 1.0)
+        assert u[0] == pytest.approx(0.25, abs=1e-12)
+
+    def test_fourth_order_convergence(self):
+        rk = LowStorageRK45()
+
+        def solve(n):
+            u = np.array([1.0])
+            return rk.advance(lambda v, t: v, u, 0.0, 1.0 / n, n)[0]
+
+        e1 = abs(solve(8) - np.e)
+        e2 = abs(solve(16) - np.e)
+        assert e1 / e2 > 12.0  # ~16x for 4th order
+
+    def test_advance_does_not_mutate_input(self):
+        rk = LowStorageRK45()
+        u0 = np.ones(3)
+        rk.advance(lambda v, t: -v, u0, 0.0, 0.1, 5)
+        np.testing.assert_array_equal(u0, 1.0)
+
+    def test_linear_stability_decay(self):
+        """Stiff decay within the stability region stays bounded."""
+        rk = LowStorageRK45()
+        u = rk.advance(lambda v, t: -2.0 * v, np.array([1.0]), 0.0, 0.1, 100)
+        assert 0 < u[0] < 1.0
