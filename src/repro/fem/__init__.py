@@ -15,6 +15,7 @@ from .assembly import (
     assemble_scalar,
     assemble_vector,
     lumped_mass,
+    vector_dofs,
 )
 from .hexops import ElementOps
 from .paradvection import ParAdvectionDiffusion
@@ -29,6 +30,7 @@ __all__ = [
     "lumped_mass",
     "apply_dirichlet",
     "Z3",
+    "vector_dofs",
     "AdvectionDiffusion",
     "element_velocity_from_nodal",
     "supg_tau",

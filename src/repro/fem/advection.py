@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mesh import Mesh
+from ..mesh.opcache import operator_cache
 from .assembly import assemble_rhs, assemble_scalar, lumped_mass
 from .hexops import ElementOps
 
@@ -90,8 +91,9 @@ class AdvectionDiffusion:
         elem += self.tau[:, None, None] * _OPS.grad_grad(sizes, self.vel)
         self.A = assemble_scalar(mesh, elem)
 
-        mass_e = _OPS.mass(sizes)
-        self.ML = lumped_mass(mesh, mass_e)
+        cache = operator_cache(mesh)
+        mass_e = cache.get("elem_mass", lambda: _OPS.mass(sizes))
+        self.ML = cache.get("lumped_mass", lambda: lumped_mass(mesh, mass_e))
 
         # source: gamma * int N_i, plus SUPG source tau * gamma * int a.grad N_i
         load_e = source * mass_e.sum(axis=2)
@@ -107,9 +109,13 @@ class AdvectionDiffusion:
         self._bc_mask = np.zeros(mesh.n_independent, dtype=bool)
         self._bc_values = np.zeros(mesh.n_independent)
         for axis, side, value in self.dirichlet:
-            nodes = mesh.boundary_node_mask(axis=axis, side=side)
-            dofs = mesh.dof_of_node[np.flatnonzero(nodes)]
-            dofs = dofs[dofs >= 0]
+
+            def build(axis=axis, side=side):
+                nodes = mesh.boundary_node_mask(axis=axis, side=side)
+                dofs = mesh.dof_of_node[np.flatnonzero(nodes)]
+                return dofs[dofs >= 0]
+
+            dofs = cache.get(("bdofs", axis, side), build)
             self._bc_mask[dofs] = True
             self._bc_values[dofs] = value
 

@@ -9,6 +9,13 @@ nodes impose continuity").
 
 Velocity operators use a component-blocked layout: dof ``a * n + i`` is
 component ``a`` at independent node ``i``.
+
+Everything mesh-derived — scatter index patterns, the COO -> CSR merge
+order, the block-diagonal constraint operator ``Z3``, the vector dof maps
+— is memoized per mesh through :mod:`repro.mesh.opcache`, so repeated
+assembly (Picard passes, time steps between adaptations) only recomputes
+coefficient data.  Memoization is value-transparent: results are bitwise
+identical with the cache disabled.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..mesh import Mesh
+from ..mesh.opcache import CachedScatter, operator_cache
 
 __all__ = [
     "assemble_scalar",
@@ -26,17 +34,55 @@ __all__ = [
     "lumped_mass",
     "apply_dirichlet",
     "Z3",
+    "vector_dofs",
 ]
 
 
-def _scatter(element_nodes: np.ndarray, elem_mats: np.ndarray, n_nodes: int) -> sp.csr_matrix:
-    """COO-scatter (ne, k, k) element matrices using (ne, k) node maps."""
-    ne, k = element_nodes.shape
-    rows = np.repeat(element_nodes, k, axis=1).ravel()
-    cols = np.tile(element_nodes, (1, k)).ravel()
-    return sp.csr_matrix(
-        (elem_mats.ravel(), (rows, cols)), shape=(n_nodes, n_nodes)
-    )
+def _scalar_scatter(mesh: Mesh) -> CachedScatter:
+    """COO -> CSR pattern for (ne, 8, 8) scalar element scatters."""
+
+    def build():
+        en = mesh.element_nodes
+        k = en.shape[1]
+        rows = np.repeat(en, k, axis=1).ravel()
+        cols = np.tile(en, (1, k)).ravel()
+        return CachedScatter(rows, cols, (mesh.n_nodes, mesh.n_nodes))
+
+    return operator_cache(mesh).get("scatter_scalar", build)
+
+
+def vector_dofs(mesh: Mesh) -> np.ndarray:
+    """(ne, 24) component-blocked global velocity dofs of each element."""
+
+    def build():
+        n = mesh.n_nodes
+        en = mesh.element_nodes
+        return np.concatenate([a * n + en for a in range(3)], axis=1)
+
+    return operator_cache(mesh).get("vector_dofs", build)
+
+
+def _vector_scatter(mesh: Mesh) -> CachedScatter:
+    def build():
+        gdofs = vector_dofs(mesh)
+        k = gdofs.shape[1]
+        rows = np.repeat(gdofs, k, axis=1).ravel()
+        cols = np.tile(gdofs, (1, k)).ravel()
+        n3 = 3 * mesh.n_nodes
+        return CachedScatter(rows, cols, (n3, n3))
+
+    return operator_cache(mesh).get("scatter_vector", build)
+
+
+def _divergence_scatter(mesh: Mesh) -> CachedScatter:
+    def build():
+        en = mesh.element_nodes
+        vdofs = vector_dofs(mesh)
+        rows = np.repeat(en, 24, axis=1).ravel()
+        cols = np.tile(vdofs, (1, 8)).ravel()
+        return CachedScatter(rows, cols, (mesh.n_nodes, 3 * mesh.n_nodes))
+
+    return operator_cache(mesh).get("scatter_divergence", build)
 
 
 def assemble_scalar(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -> sp.csr_matrix:
@@ -47,15 +93,17 @@ def assemble_scalar(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -
     """
     if elem_mats.shape != (mesh.n_elements, 8, 8):
         raise ValueError("element matrix array has wrong shape")
-    A = _scatter(mesh.element_nodes, elem_mats, mesh.n_nodes)
+    A = _scalar_scatter(mesh).assemble(elem_mats)
     if not constrain:
         return A
     return sp.csr_matrix(mesh.Z.T @ A @ mesh.Z)
 
 
 def Z3(mesh: Mesh) -> sp.csr_matrix:
-    """Constraint operator for component-blocked vector fields."""
-    return sp.block_diag([mesh.Z] * 3, format="csr")
+    """Constraint operator for component-blocked vector fields (cached)."""
+    return operator_cache(mesh).get(
+        "Z3", lambda: sp.block_diag([mesh.Z] * 3, format="csr")
+    )
 
 
 def assemble_vector(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -> sp.csr_matrix:
@@ -66,10 +114,7 @@ def assemble_vector(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -
     """
     if elem_mats.shape != (mesh.n_elements, 24, 24):
         raise ValueError("element matrix array has wrong shape")
-    n = mesh.n_nodes
-    en = mesh.element_nodes
-    gdofs = np.concatenate([a * n + en for a in range(3)], axis=1)  # (ne, 24)
-    A = _scatter(gdofs, elem_mats, 3 * n)
+    A = _vector_scatter(mesh).assemble(elem_mats)
     if not constrain:
         return A
     z3 = Z3(mesh)
@@ -81,12 +126,7 @@ def assemble_divergence(mesh: Mesh, elem_B: np.ndarray, constrain: bool = True) 
     (n_p, 3 n_u) divergence operator."""
     if elem_B.shape != (mesh.n_elements, 8, 24):
         raise ValueError("element matrix array has wrong shape")
-    n = mesh.n_nodes
-    en = mesh.element_nodes
-    vdofs = np.concatenate([a * n + en for a in range(3)], axis=1)  # (ne, 24)
-    rows = np.repeat(en, 24, axis=1).ravel()
-    cols = np.tile(vdofs, (1, 8)).ravel()
-    B = sp.csr_matrix((elem_B.ravel(), (rows, cols)), shape=(n, 3 * n))
+    B = _divergence_scatter(mesh).assemble(elem_B)
     if not constrain:
         return B
     return sp.csr_matrix(mesh.Z.T @ B @ Z3(mesh))

@@ -29,6 +29,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..mesh import Mesh
+from ..mesh.opcache import operator_cache
 from .assembly import (
     apply_dirichlet,
     assemble_divergence,
@@ -81,9 +82,9 @@ class StokesSystem:
             raise ValueError("viscosity must be positive")
         sizes = mesh.element_sizes()
         n = mesh.n_independent
+        cache = operator_cache(mesh)
 
         self.A = assemble_vector(mesh, _OPS.strain_stiffness(sizes, self.viscosity))
-        self.B = sp.csr_matrix(-assemble_divergence(mesh, _OPS.divergence(sizes)))
         self.C = assemble_scalar(
             mesh, _OPS.pressure_stabilization(sizes, self.viscosity)
         )
@@ -94,21 +95,31 @@ class StokesSystem:
             bf = np.asarray(body_force, dtype=np.float64)
             if bf.shape != (mesh.n_nodes, 3):
                 raise ValueError("body_force must be (n_nodes, 3)")
-            M_node = assemble_scalar(mesh, _OPS.mass(sizes), constrain=False)
+            M_node = cache.get(
+                "node_mass",
+                lambda: assemble_scalar(mesh, _OPS.mass(sizes), constrain=False),
+            )
             for a in range(3):
                 self.f[a * n : (a + 1) * n] = mesh.Z.T @ (M_node @ bf[:, a])
 
         # velocity boundary conditions
         self.bc_kind = bc
-        self.bc = self._build_bcs(bc)
+        self.bc = cache.get(("stokes_bcs", bc), lambda: self._build_bcs(bc))
         self.A, self.f = apply_dirichlet(self.A, self.f, self.bc.dofs)
-        # constrained velocity dofs must also drop out of the divergence
-        col_mask = np.ones(3 * n)
-        col_mask[self.bc.dofs] = 0.0
-        self.B = sp.csr_matrix(self.B @ sp.diags(col_mask))
+        # the divergence block is viscosity-independent, and so is its
+        # column masking: constrained velocity dofs drop out of B
+        self.B = cache.get(("stokes_B", bc), self._build_divergence)
 
         self.n_u = 3 * n
         self.n_p = n
+
+    def _build_divergence(self) -> sp.csr_matrix:
+        """-(divergence) with constrained-velocity columns zeroed."""
+        mesh = self.mesh
+        B = sp.csr_matrix(-assemble_divergence(mesh, _OPS.divergence(mesh.element_sizes())))
+        col_mask = np.ones(3 * mesh.n_independent)
+        col_mask[self.bc.dofs] = 0.0
+        return sp.csr_matrix(B @ sp.diags(col_mask))
 
     # -- boundary conditions ----------------------------------------------------
 

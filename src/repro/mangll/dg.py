@@ -91,6 +91,12 @@ class DGAdvection:
         (default zero).
     variant:
         ``"tensor"`` or ``"matrix"`` derivative kernel (Section VII).
+    batch_faces:
+        When True (default), same-tree faces are classified and built
+        with array operations (one batched neighbor probe per tree and
+        face direction); only cross-tree faces go through the per-face
+        loop.  False forces the per-face loop everywhere — the
+        pre-vectorization path, kept as the equivalence oracle.
     """
 
     def __init__(
@@ -100,11 +106,13 @@ class DGAdvection:
         velocity: Callable[[np.ndarray], np.ndarray],
         inflow: Callable[[np.ndarray], np.ndarray] | None = None,
         variant: str = "tensor",
+        batch_faces: bool = True,
     ):
         self.forest = forest
         self.conn: Connectivity = forest.conn
         self.p = p
         self.variant = variant
+        self.batch_faces = batch_faces
         self.kern = DerivativeKernel(p)
         n = p + 1
         self.n = n
@@ -277,79 +285,304 @@ class DGAdvection:
         return sj, normal
 
     def _build_faces(self, velocity) -> None:
+        interior = {k: [] for k in ("mine", "nb", "Mq", "Mn", "wsj", "an", "xq", "key")}
+        bdry = {k: [] for k in ("mine", "wsj", "an", "uin", "key")}
+        if self.batch_faces:
+            self._build_faces_batched(velocity, interior, bdry)
+        else:
+            for e in range(self.ne):
+                for f in range(6):
+                    self._build_face_single(e, f, velocity, interior, bdry)
+        self._finalize_faces(interior, bdry)
+
+    def _build_face_single(self, e: int, f: int, velocity, interior, bdry) -> None:
+        """Per-face instance construction (the pre-vectorization path;
+        the batched builder delegates cross-tree faces here).  Appends
+        instance arrays with a leading singleton axis plus a ``key``
+        ``e * 6 + f`` so instances can be merged in canonical order."""
         n2 = self.n2
         w2 = np.einsum("i,j->ij", self.kern.weights, self.kern.weights).ravel()
-        interior = {k: [] for k in ("mine", "nb", "Mq", "Mn", "wsj", "an", "xq")}
-        bdry = {k: [] for k in ("mine", "Mq", "wsj", "an", "xq")}
+        eye = np.eye(n2)
+        tid = int(self.tree_ids[e])
+        info = self._neighbor_info(e, f)
+        mine_nodes = e * self.n3 + self._face_idx[f]
+        if info is None:
+            quad = self._face_quad_tree_coords(e, f)
+            sj, normal = self._surface_metric(e, f, quad)
+            xq = self.conn.tree_map(tid, quad / ROOT_LEN)
+            an = np.einsum("md,md->m", velocity(xq), normal)
+            bdry["mine"].append(mine_nodes[None])
+            bdry["wsj"].append((w2 * sj)[None])
+            bdry["an"].append(an[None])
+            bdry["uin"].append(np.asarray(self.inflow(xq))[None])
+            bdry["key"].append(np.array([e * 6 + f]))
+            return
+        for ge, driver in info:
+            tid_nb = int(self.tree_ids[ge])
+            if driver == e:
+                # quadrature on my own face points
+                quad_mine = self._face_quad_tree_coords(e, f)
+                Mq = eye
+                # neighbor's matching face: which face of ge?
+                quad_nb = self._to_frame(tid, tid_nb, quad_mine, f)
+                fnb = self._facing_face(ge, quad_nb)
+                st_nb = self._face_st(ge, fnb, quad_nb)
+                Mn = self._interp_from_face(st_nb)
+                quad = quad_mine
+            else:
+                # neighbor (fine side) drives: its face points
+                fnb = self._facing_face_of_neighbor(e, f, ge)
+                quad_nb = self._face_quad_tree_coords(ge, fnb)
+                quad = self._to_frame(tid_nb, tid, quad_nb, fnb)
+                st_mine = self._face_st(e, f, quad)
+                Mq = self._interp_from_face(st_mine)
+                Mn = eye
+            sj, normal = self._surface_metric(e, f, quad)
+            xq = self.conn.tree_map(tid, quad / ROOT_LEN)
+            an = np.einsum("md,md->m", velocity(xq), normal)
+            interior["mine"].append(mine_nodes[None])
+            interior["nb"].append((ge * self.n3 + self._face_idx[fnb])[None])
+            interior["Mq"].append(Mq[None])
+            interior["Mn"].append(Mn[None])
+            interior["wsj"].append((w2 * sj)[None])
+            interior["an"].append(an[None])
+            interior["xq"].append(xq[None])
+            interior["key"].append(np.array([e * 6 + f]))
+
+    # -- batched face construction -------------------------------------------
+
+    def _face_ref_coords(self, f: int) -> np.ndarray:
+        """(n2, 3) reference coords of face f's LGL nodes (t1 fastest) —
+        the batched twin of :meth:`_face_quad_tree_coords`'s ref block."""
+        axis, side = _FACE_AXIS_SIDE[f]
+        g = self.kern.nodes
+        t1, t2 = [a2 for a2 in range(3) if a2 != axis]
+        S2, S1 = np.meshgrid(g, g, indexing="ij")
+        ref = np.empty((self.n2, 3))
+        ref[:, axis] = 1.0 if side else -1.0
+        ref[:, t1] = S1.ravel()
+        ref[:, t2] = S2.ravel()
+        return ref
+
+    def _batched_metric(self, E: np.ndarray, f: int, quad: np.ndarray):
+        """Vectorized :meth:`_surface_metric` for faces of elements ``E``
+        (quad: (m, n2, 3) tree-frame points, each in its element's tree)."""
+        axis, side = _FACE_AXIS_SIDE[f]
+        m = len(E)
+        n2 = self.n2
+        ref01 = (quad / ROOT_LEN).reshape(m * n2, 3)
+        tpt = np.repeat(self.tree_ids[E], n2)
+        Jt = np.empty((m * n2, 3, 3))
+        for t in np.unique(tpt):
+            s = tpt == t
+            Jt[s] = self.conn.tree_map_jacobian(int(t), ref01[s])
+        hfrac = np.repeat(
+            self.octs.lengths()[E].astype(np.float64) / ROOT_LEN * 0.5, n2
+        )
+        J = Jt * hfrac[:, None, None]
+        detJ = np.linalg.det(J)
+        Jinv = np.linalg.inv(J)
+        nref = np.zeros(3)
+        nref[axis] = 1.0 if side else -1.0
+        nvec = np.einsum("mkd,k->md", Jinv, nref) * detJ[:, None]
+        sj = np.linalg.norm(nvec, axis=1)
+        normal = nvec / sj[:, None]
+        return sj.reshape(m, n2), normal.reshape(m, n2, 3)
+
+    def _batched_phys(self, E: np.ndarray, quad: np.ndarray) -> np.ndarray:
+        """Vectorized tree-map of (m, n2, 3) tree-frame face points."""
+        m, n2 = quad.shape[0], self.n2
+        pts = (quad / ROOT_LEN).reshape(m * n2, 3)
+        tpt = np.repeat(self.tree_ids[E], n2)
+        out = np.empty((m * n2, 3))
+        for t in np.unique(tpt):
+            s = tpt == t
+            out[s] = self.conn.tree_map(int(t), pts[s])
+        return out.reshape(m, n2, 3)
+
+    def _batched_interp(self, st: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_interp_from_face`: (m, n2, 2) -> (m, n2, n2)."""
+        m = st.shape[0]
+        flat = st.reshape(m * self.n2, 2)
+        A = lagrange_basis_at(self.kern.nodes, flat[:, 0])
+        B = lagrange_basis_at(self.kern.nodes, flat[:, 1])
+        M = np.einsum("ma,mb->mba", A, B).reshape(m * self.n2, self.n2)
+        return M.reshape(m, self.n2, self.n2)
+
+    def _build_faces_batched(self, velocity, interior, bdry) -> None:
+        """Array-op face construction: classify every (element, face) with
+        one batched neighbor probe per (tree, direction), then build
+        boundary / conforming / fine-driver batches per direction without
+        per-face Python work.  Cross-tree faces (rotated frames, inter-tree
+        mortars) fall through to :meth:`_build_face_single`."""
+        n2, n3, ne = self.n2, self.n3, self.ne
+        octs = self.octs
+        hi = octs.lengths().astype(np.int64)
+        ai = np.stack([octs.x, octs.y, octs.z], axis=1).astype(np.int64)
+        hf = hi.astype(np.float64)
+        af = ai.astype(np.float64)
+        lvl = octs.level.astype(np.int64)
+        tids = self.tree_ids
+        w2 = np.einsum("i,j->ij", self.kern.weights, self.kern.weights).ravel()
         eye = np.eye(n2)
 
-        for e in range(self.ne):
-            tid = int(self.tree_ids[e])
-            for f in range(6):
-                info = self._neighbor_info(e, f)
-                mine_nodes = e * self.n3 + self._face_idx[f]
-                if info is None:
-                    quad = self._face_quad_tree_coords(e, f)
-                    sj, normal = self._surface_metric(e, f, quad)
-                    xq = self.conn.tree_map(tid, quad / ROOT_LEN)
-                    an = np.einsum("md,md->m", velocity(xq), normal)
-                    bdry["mine"].append(mine_nodes)
-                    bdry["Mq"].append(eye)
-                    bdry["wsj"].append(w2 * sj)
-                    bdry["an"].append(an)
-                    bdry["xq"].append(xq)
-                    continue
-                for ge, driver in info:
-                    tid_nb = int(self.tree_ids[ge])
-                    if driver == e:
-                        # quadrature on my own face points
-                        quad_mine = self._face_quad_tree_coords(e, f)
-                        Mq = eye
-                        # neighbor's matching face: which face of ge?
-                        quad_nb = self._to_frame(tid, tid_nb, quad_mine, f)
-                        fnb = self._facing_face(ge, quad_nb)
-                        st_nb = self._face_st(ge, fnb, quad_nb)
-                        Mn = self._interp_from_face(st_nb)
-                        quad = quad_mine
-                    else:
-                        # neighbor (fine side) drives: its face points
-                        fnb = self._facing_face_of_neighbor(e, f, ge)
-                        quad_nb = self._face_quad_tree_coords(ge, fnb)
-                        quad = self._to_frame(tid_nb, tid, quad_nb, fnb)
-                        st_mine = self._face_st(e, f, quad)
-                        Mq = self._interp_from_face(st_mine)
-                        Mn = eye
-                    sj, normal = self._surface_metric(e, f, quad)
-                    xq = self.conn.tree_map(tid, quad / ROOT_LEN)
-                    an = np.einsum("md,md->m", velocity(xq), normal)
-                    interior["mine"].append(mine_nodes)
-                    interior["nb"].append(ge * self.n3 + self._face_idx[fnb])
-                    interior["Mq"].append(Mq)
-                    interior["Mn"].append(Mn)
-                    interior["wsj"].append(w2 * sj)
-                    interior["an"].append(an)
-                    interior["xq"].append(xq)
+        # one probe per (tree, direction) classifies all faces at once
+        t_nb = np.full((ne, 6), -1, dtype=np.int64)
+        g_nb = np.zeros((ne, 6), dtype=np.int64)
+        utrees = np.unique(tids)
+        for f in range(6):
+            axis, side = _FACE_AXIS_SIDE[f]
+            d = np.zeros(3, dtype=np.int64)
+            d[axis] = 1 if side else -1
+            centers = ai + (hi // 2)[:, None] + d[None, :] * hi[:, None]
+            for t in utrees:
+                sel = np.flatnonzero(tids == t)
+                tt, ll = self.forest.neighbor_leaf(int(t), centers[sel])
+                t_nb[sel, f] = tt
+                ok = tt >= 0
+                g_nb[sel[ok], f] = self._offsets[tt[ok]] + ll[ok]
 
-        def stack(d):
-            return {k: np.array(v) for k, v in d.items()}
+        valid = t_nb >= 0
+        same = valid & (t_nb == tids[:, None])
+        nblvl = lvl[g_nb]
+        idrive = same & (nblvl <= lvl[:, None])
+        coarse = same & (nblvl > lvl[:, None])
+        fallback: list[tuple[int, int]] = [
+            (int(e), int(f)) for e, f in zip(*np.nonzero(valid & ~same))
+        ]
 
-        si = stack(interior)
-        self.faces = _FaceBatch(
-            mine=si["mine"].astype(np.int64),
-            nb=si["nb"].astype(np.int64),
-            Mq=si["Mq"],
-            Mn=si["Mn"],
-            wsj=si["wsj"],
-            an=si["an"],
-            xq=si["xq"],
-        ) if interior["mine"] else None
-        if bdry["mine"]:
-            sb = stack(bdry)
+        def face_quads(E, f):
+            # identical arithmetic to _leaf_tree_coords on face ref points
+            ref = self._face_ref_coords(f)
+            return af[E][:, None, :] + (ref[None, :, :] + 1.0) * 0.5 * hf[E][
+                :, None, None
+            ]
+
+        def emit_interior(E, G, f, fnb, quad, Mq, Mn):
+            sj, normal = self._batched_metric(E, f, quad)
+            xq = self._batched_phys(E, quad)
+            v = np.asarray(velocity(xq.reshape(-1, 3))).reshape(len(E), n2, 3)
+            interior["mine"].append(E[:, None] * n3 + self._face_idx[f][None, :])
+            interior["nb"].append(G[:, None] * n3 + self._face_idx[fnb][None, :])
+            interior["Mq"].append(Mq)
+            interior["Mn"].append(Mn)
+            interior["wsj"].append(w2[None, :] * sj)
+            interior["an"].append(np.einsum("mqd,mqd->mq", v, normal))
+            interior["xq"].append(xq)
+            interior["key"].append(E * 6 + f)
+
+        for f in range(6):
+            axis, side = _FACE_AXIS_SIDE[f]
+            t1, t2 = [a2 for a2 in range(3) if a2 != axis]
+            fnb = f ^ 1  # same-tree frames are aligned
+
+            # boundary faces of this direction
+            E = np.flatnonzero(~valid[:, f])
+            if len(E):
+                quad = face_quads(E, f)
+                sj, normal = self._batched_metric(E, f, quad)
+                xq = self._batched_phys(E, quad)
+                v = np.asarray(velocity(xq.reshape(-1, 3))).reshape(len(E), n2, 3)
+                bdry["mine"].append(E[:, None] * n3 + self._face_idx[f][None, :])
+                bdry["wsj"].append(w2[None, :] * sj)
+                bdry["an"].append(np.einsum("mqd,mqd->mq", v, normal))
+                bdry["uin"].append(
+                    np.asarray(self.inflow(xq.reshape(-1, 3))).reshape(len(E), n2)
+                )
+                bdry["key"].append(E * 6 + f)
+
+            # conforming / fine-side faces: my face points drive
+            E = np.flatnonzero(idrive[:, f])
+            if len(E):
+                G = g_nb[E, f]
+                quad = face_quads(E, f)
+                loc = 2.0 * (quad - af[G][:, None, :]) / hf[G][:, None, None] - 1.0
+                st = loc[:, :, [t1, t2]]
+                if np.any(np.abs(st) > 1 + 1e-9):
+                    raise AssertionError("face point outside element face")
+                st = np.clip(st, -1.0, 1.0)
+                Mn = self._batched_interp(st)
+                Mq = np.broadcast_to(eye, (len(E), n2, n2))
+                emit_interior(E, G, f, fnb, quad, Mq, Mn)
+
+            # coarse-side faces: each of the 4 fine neighbors drives
+            E = np.flatnonzero(coarse[:, f])
+            if len(E):
+                d = np.zeros(3, dtype=np.int64)
+                d[axis] = 1 if side else -1
+                base = (
+                    ai[E]
+                    + (hi[E] // 2)[:, None]
+                    + d[None, :] * (hi[E] // 2 + hi[E] // 4)[:, None]
+                )
+                subs = []
+                okall = np.ones(len(E), dtype=bool)
+                for j2 in range(2):
+                    for j1 in range(2):
+                        q = base.copy()
+                        q[:, t1] = ai[E, t1] + hi[E] // 4 + j1 * (hi[E] // 2)
+                        q[:, t2] = ai[E, t2] + hi[E] // 4 + j2 * (hi[E] // 2)
+                        tq = np.full(len(E), -1, dtype=np.int64)
+                        gq = np.zeros(len(E), dtype=np.int64)
+                        for t in np.unique(tids[E]):
+                            s = np.flatnonzero(tids[E] == t)
+                            tt, ll = self.forest.neighbor_leaf(int(t), q[s])
+                            tq[s] = tt
+                            ok = tt >= 0
+                            gq[s[ok]] = self._offsets[tt[ok]] + ll[ok]
+                        subs.append((tq, gq))
+                        okall &= tq == tids[E]
+                Eb = E[okall]
+                if len(Eb):
+                    for tq, gq in subs:
+                        G = gq[okall]
+                        quad = face_quads(G, fnb)  # fine neighbor's face nodes
+                        loc = (
+                            2.0 * (quad - af[Eb][:, None, :]) / hf[Eb][:, None, None]
+                            - 1.0
+                        )
+                        st = loc[:, :, [t1, t2]]
+                        if np.any(np.abs(st) > 1 + 1e-9):
+                            raise AssertionError("face point outside element face")
+                        st = np.clip(st, -1.0, 1.0)
+                        Mq = self._batched_interp(st)
+                        Mn = np.broadcast_to(eye, (len(Eb), n2, n2))
+                        emit_interior(Eb, G, f, fnb, quad, Mq, Mn)
+                fallback.extend((int(e), f) for e in E[~okall])
+
+        for e, f in fallback:
+            self._build_face_single(e, f, velocity, interior, bdry)
+
+    def _finalize_faces(self, interior, bdry) -> None:
+        """Merge instance batches in canonical (element, face, sub) order
+        so flux accumulation order — and hence floating-point results —
+        matches the per-face loop exactly."""
+
+        def merge(d, names):
+            key = np.concatenate(d["key"])
+            order = np.argsort(key, kind="stable")
+            return {k: np.concatenate(d[k], axis=0)[order] for k in names}
+
+        if interior["key"]:
+            si = merge(interior, ("mine", "nb", "Mq", "Mn", "wsj", "an", "xq"))
+            self.faces = _FaceBatch(
+                mine=si["mine"].astype(np.int64),
+                nb=si["nb"].astype(np.int64),
+                Mq=si["Mq"],
+                Mn=si["Mn"],
+                wsj=si["wsj"],
+                an=si["an"],
+                xq=si["xq"],
+            )
+        else:
+            self.faces = None
+        if bdry["key"]:
+            sb = merge(bdry, ("mine", "wsj", "an", "uin"))
             self.bfaces = {
                 "mine": sb["mine"].astype(np.int64),
                 "wsj": sb["wsj"],
                 "an": sb["an"],
-                "uin": np.stack([self.inflow(x) for x in sb["xq"]]),
+                "uin": sb["uin"],
             }
         else:
             self.bfaces = None

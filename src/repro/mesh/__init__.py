@@ -7,6 +7,15 @@ the Figure-4 adaptation pipeline.
 
 from .extract import Mesh, extract_mesh, extract_submesh, node_keys
 from .fields import interpolate_fields, interpolate_many
+from .opcache import (
+    CachedScatter,
+    MeshOperatorCache,
+    cache_disabled,
+    cache_stats,
+    operator_cache,
+    reset_cache_stats,
+    set_cache_enabled,
+)
 from .vtk import write_vtk
 
 __all__ = [
@@ -16,5 +25,12 @@ __all__ = [
     "node_keys",
     "interpolate_fields",
     "interpolate_many",
+    "MeshOperatorCache",
+    "CachedScatter",
+    "operator_cache",
+    "cache_disabled",
+    "cache_stats",
+    "reset_cache_stats",
+    "set_cache_enabled",
     "write_vtk",
 ]

@@ -32,6 +32,7 @@ import scipy.sparse as sp
 
 from ..octree import LinearOctree, ROOT_LEN
 from ..octree.linear import LinearOctree as _LinearOctree
+from .opcache import operator_cache
 
 __all__ = ["Mesh", "extract_mesh", "extract_submesh", "node_keys"]
 
@@ -134,11 +135,17 @@ class Mesh:
 
     def element_sizes(self) -> np.ndarray:
         """(n_elements, 3) physical element edge lengths (hx, hy, hz)."""
-        h = self.leaves.lengths().astype(np.float64) / ROOT_LEN
-        return h[:, None] * self.domain[None, :]
+
+        def build():
+            h = self.leaves.lengths().astype(np.float64) / ROOT_LEN
+            return h[:, None] * self.domain[None, :]
+
+        return operator_cache(self).get("element_sizes", build)
 
     def element_centers(self) -> np.ndarray:
-        return self.leaves.centers() * self.domain
+        return operator_cache(self).get(
+            "element_centers", lambda: self.leaves.centers() * self.domain
+        )
 
     def boundary_node_mask(self, axis: int | None = None, side: int | None = None) -> np.ndarray:
         """Nodes on the domain boundary; optionally one face only

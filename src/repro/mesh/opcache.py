@@ -1,0 +1,170 @@
+"""Per-mesh operator cache: setup amortization across solves.
+
+The Figure-8 breakdown makes the mantle-convection step >95% Stokes
+solve, and the Stokes solve in turn spends most of its setup rebuilding
+objects that depend only on the *mesh* — scatter index maps, the
+block-diagonal constraint operator ``Z3``, element geometry factors,
+boundary dof sets — on every Picard pass and every time step.  Between
+mesh adaptations (every ``adapt_every`` ~ 16 steps) none of these change.
+
+The cache attaches lazily to a :class:`~repro.mesh.extract.Mesh`
+instance, so invalidation is structural: ``adapt()`` produces a *new*
+mesh object, and with it a fresh, empty cache — no generation counters
+to keep in sync, nothing stale to drop.  Global hit/miss counters are
+kept for the perf-regression harness.
+
+Memoization never changes arithmetic: cached values are exactly the
+arrays the builder would produce, so solver results with the cache on
+and off are bitwise identical (a property the regression tests pin).
+The :func:`cache_disabled` context manager turns reuse off for such
+comparisons without touching any call sites.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "MeshOperatorCache",
+    "CachedScatter",
+    "operator_cache",
+    "cache_enabled",
+    "set_cache_enabled",
+    "cache_disabled",
+    "cache_stats",
+    "reset_cache_stats",
+]
+
+_ENABLED = True
+
+
+@dataclass
+class _GlobalStats:
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0  # lookups made while the cache was disabled
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "bypasses": self.bypasses}
+
+
+_STATS = _GlobalStats()
+
+
+def cache_enabled() -> bool:
+    return _ENABLED
+
+
+def set_cache_enabled(flag: bool) -> None:
+    """Globally enable/disable memoization (builders still run either way)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def cache_disabled():
+    """Temporarily disable operator-cache reuse (for on/off comparisons)."""
+    prev = _ENABLED
+    set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(prev)
+
+
+def cache_stats() -> dict:
+    """Global hit/miss counters (aggregated over all meshes)."""
+    return _STATS.as_dict()
+
+
+def reset_cache_stats() -> None:
+    _STATS.hits = 0
+    _STATS.misses = 0
+    _STATS.bypasses = 0
+
+
+@dataclass
+class MeshOperatorCache:
+    """Keyed store of mesh-derived operators with hit/miss accounting."""
+
+    store: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, key, builder):
+        """Return the cached value for ``key``, building it on a miss.
+
+        When caching is globally disabled the builder runs every time and
+        nothing is stored, so repeated calls exercise identical code.
+        """
+        if not _ENABLED:
+            _STATS.bypasses += 1
+            return builder()
+        try:
+            value = self.store[key]
+        except KeyError:
+            self.misses += 1
+            _STATS.misses += 1
+            value = builder()
+            self.store[key] = value
+            return value
+        self.hits += 1
+        _STATS.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self.store.clear()
+
+
+def operator_cache(mesh) -> MeshOperatorCache:
+    """The operator cache of a mesh, created on first access.
+
+    Lives on the mesh instance, so a new mesh (after adaptation) starts
+    with an empty cache and the old one is garbage-collected with the old
+    mesh — structural invalidation.
+    """
+    cache = getattr(mesh, "_opcache", None)
+    if cache is None:
+        cache = MeshOperatorCache()
+        mesh._opcache = cache
+    return cache
+
+
+class CachedScatter:
+    """Precomputed COO -> CSR reduction for a fixed sparsity pattern.
+
+    Element-matrix assembly scatters the same (rows, cols) pattern on
+    every call; only the data changes with the material coefficients.
+    Sorting and duplicate-merging the pattern once and replaying it with
+    ``np.add.reduceat`` removes the dominant per-assembly cost.
+    """
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, shape: tuple[int, int]):
+        rows = np.asarray(rows).ravel()
+        cols = np.asarray(cols).ravel()
+        order = np.lexsort((cols, rows))
+        r = rows[order]
+        c = cols[order]
+        first = np.r_[True, (r[1:] != r[:-1]) | (c[1:] != c[:-1])]
+        self.order = order
+        self.starts = np.flatnonzero(first)
+        counts = np.bincount(r[self.starts], minlength=shape[0])
+        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self.indices = c[self.starts].astype(np.int64)
+        self.shape = shape
+
+    def assemble(self, data: np.ndarray) -> sp.csr_matrix:
+        """CSR matrix with the cached structure and summed ``data``."""
+        d = np.add.reduceat(np.asarray(data).ravel()[self.order], self.starts)
+        A = sp.csr_matrix(
+            (d, self.indices, self.indptr), shape=self.shape, copy=False
+        )
+        # the pattern is sorted and duplicate-free by construction; telling
+        # scipy prevents it from ever rewriting the shared index arrays
+        A.has_sorted_indices = True
+        A.has_canonical_format = True
+        return A

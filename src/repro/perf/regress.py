@@ -1,0 +1,238 @@
+"""Setup-amortization regression mini-suite (BENCH_tentpole.json).
+
+Measures the PR-1 optimizations against an honest pre-PR baseline run in
+the same process:
+
+- ``stokes_repeat``: repeated Stokes solves on a fixed mesh (3 Picard
+  passes x 5 time steps).  The baseline arm disables the operator cache,
+  the lagged preconditioner, and MINRES warm starts, and restores the
+  per-sweep triangular smoother and sequential aggregation — the seed
+  code path.  A third arm (cache + warm start, rebuild-every-pass
+  preconditioner) anchors the lagged-preconditioner iteration-inflation
+  check.
+- ``convection_mini``: a short adaptive convection run exercising cache
+  invalidation; records operator-cache hit/miss and preconditioner
+  build/reuse counters.
+- ``dg_cubed_sphere``: DG setup on the cubed-sphere shell, batched face
+  construction vs. the per-face loop, plus one RK step.
+- ``amg_setup``: AMG setup on a model Poisson operator, vectorized vs.
+  sequential aggregation.
+
+``--smoke`` shrinks every scenario so CI can validate JSON emission in
+seconds; timings in smoke mode are not meaningful and are not gated.
+
+Run: ``PYTHONPATH=src python -m repro.perf.regress [--smoke] [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..forest import Forest, cubed_sphere_connectivity
+from ..mangll import DGAdvection, solid_body_rotation
+from ..mesh.opcache import cache_stats, reset_cache_stats
+from ..rhea import MantleConvection, RheaConfig
+from ..solvers.amg import (
+    SmoothedAggregationAMG,
+    aggregate,
+    aggregate_reference,
+    legacy_aggregation,
+    legacy_smoother,
+    strength_graph,
+)
+
+__all__ = ["run_suite", "main"]
+
+
+def _stokes_arm(config: RheaConfig, level: int, n_solves: int, adv_steps: int):
+    """One repeated-Stokes arm: fixed mesh, alternating Stokes solve and
+    temperature advance (so the viscosity drifts realistically)."""
+    from ..octree import LinearOctree
+
+    sim = MantleConvection(config, tree=LinearOctree.uniform(level))
+    t0 = time.perf_counter()
+    iters = 0
+    for _ in range(n_solves):
+        stats = sim.solve_stokes()
+        iters += stats["minres_iterations"]
+        sim.advance_temperature(adv_steps)
+    wall = time.perf_counter() - t0
+    return wall, iters, sim.vrms()
+
+
+def bench_stokes_repeat(smoke: bool) -> dict:
+    level = 2 if smoke else 3
+    n_solves = 2 if smoke else 5
+    adv_steps = 1 if smoke else 2
+    picard = 3
+
+    def cfg(**kw):
+        return RheaConfig(picard_iterations=picard, adapt_every=adv_steps, **kw)
+
+    # pre-PR baseline: no cache, rebuild preconditioner every pass, cold
+    # starts, per-sweep triangular solves, sequential aggregation
+    reset_cache_stats()
+    with legacy_smoother(), legacy_aggregation():
+        base_s, base_it, base_vrms = _stokes_arm(
+            cfg(cache_operators=False, prec_lag_rtol=None, warm_start=False),
+            level, n_solves, adv_steps,
+        )
+    # iteration reference: all optimizations except preconditioner lagging
+    _, nolag_it, _ = _stokes_arm(cfg(prec_lag_rtol=None), level, n_solves, adv_steps)
+    # full optimized path (PR defaults)
+    reset_cache_stats()
+    opt_s, opt_it, opt_vrms = _stokes_arm(cfg(), level, n_solves, adv_steps)
+    stats = cache_stats()
+    return {
+        "n_solves": n_solves,
+        "picard_iterations": picard,
+        "baseline_s": base_s,
+        "optimized_s": opt_s,
+        "speedup": base_s / opt_s,
+        "minres_iters_baseline": base_it,
+        "minres_iters_nolag": nolag_it,
+        "minres_iters_lagged": opt_it,
+        "lag_iter_ratio": opt_it / max(nolag_it, 1),
+        "vrms_baseline": base_vrms,
+        "vrms_optimized": opt_vrms,
+        "vrms_rel_diff": abs(opt_vrms - base_vrms) / max(abs(base_vrms), 1e-30),
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+    }
+
+
+def bench_convection_mini(smoke: bool) -> dict:
+    cfg = RheaConfig(
+        initial_level=2,
+        max_level=3 if smoke else 4,
+        adapt_every=2,
+        picard_iterations=2,
+    )
+    sim = MantleConvection(cfg)
+    t0 = time.perf_counter()
+    sim.run(1 if smoke else 3, adapt=True)
+    wall = time.perf_counter() - t0
+    out = {"wall_s": wall, "n_elements": sim.mesh.n_elements}
+    out.update(sim.cache_stats())
+    return out
+
+
+def bench_dg_cubed_sphere(smoke: bool) -> dict:
+    conn = cubed_sphere_connectivity(r_inner=0.55, r_outer=1.0)
+    forest = Forest.uniform(conn, 0 if smoke else 1)
+    if not smoke:
+        mask = np.zeros(len(forest), dtype=bool)
+        mask[::7] = True
+        forest, _ = forest.refine(mask).balance()
+    p = 2 if smoke else 3
+    wind = solid_body_rotation()
+    t0 = time.perf_counter()
+    dg_loop = DGAdvection(forest, p=p, velocity=wind, batch_faces=False)
+    loop_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dg = DGAdvection(forest, p=p, velocity=wind, batch_faces=True)
+    bat_s = time.perf_counter() - t0
+    u = dg.project(lambda x: np.exp(-20.0 * ((x[:, 0] - 0.7) ** 2 + x[:, 1] ** 2 + x[:, 2] ** 2)))
+    same = np.array_equal(dg_loop.rate(u), dg.rate(u))
+    dt = dg.cfl_dt()
+    t0 = time.perf_counter()
+    dg.advance(u, dt, 1)
+    step_s = time.perf_counter() - t0
+    return {
+        "n_elements": dg.ne,
+        "p": p,
+        "setup_loop_s": loop_s,
+        "setup_batched_s": bat_s,
+        "setup_speedup": loop_s / bat_s,
+        "rate_bitwise_equal": bool(same),
+        "step_s": step_s,
+    }
+
+
+def bench_amg_setup(smoke: bool) -> dict:
+    m = 12 if smoke else 24
+    I = sp.eye(m)
+    T = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(m, m))
+    A = sp.csr_matrix(
+        sp.kron(sp.kron(T, I), I) + sp.kron(sp.kron(I, T), I) + sp.kron(sp.kron(I, I), T)
+    )
+    S = strength_graph(A, 0.08)
+    t0 = time.perf_counter()
+    _, n_ref = aggregate_reference(S)
+    ref_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _, n_vec = aggregate(S)
+    vec_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with legacy_aggregation(), legacy_smoother():
+        SmoothedAggregationAMG(A)
+    setup_ref_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    SmoothedAggregationAMG(A)
+    setup_vec_s = time.perf_counter() - t0
+    return {
+        "n": A.shape[0],
+        "aggregate_reference_s": ref_s,
+        "aggregate_vectorized_s": vec_s,
+        "aggregate_speedup": ref_s / vec_s,
+        "n_agg_reference": int(n_ref),
+        "n_agg_vectorized": int(n_vec),
+        "setup_reference_s": setup_ref_s,
+        "setup_vectorized_s": setup_vec_s,
+        "setup_speedup": setup_ref_s / setup_vec_s,
+    }
+
+
+def run_suite(smoke: bool = False) -> dict:
+    out = {
+        "suite": "PR1 setup amortization",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    for name, fn in (
+        ("stokes_repeat", bench_stokes_repeat),
+        ("convection_mini", bench_convection_mini),
+        ("dg_cubed_sphere", bench_dg_cubed_sphere),
+        ("amg_setup", bench_amg_setup),
+    ):
+        t0 = time.perf_counter()
+        out["scenarios"][name] = fn(smoke)
+        out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+        print(f"[regress] {name}: {json.dumps(out['scenarios'][name])}", flush=True)
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="tiny sizes, emission check only")
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default BENCH_tentpole.json, or "
+        "BENCH_smoke.json in smoke mode so smoke runs never clobber "
+        "the full-mode artifact)",
+    )
+    args = ap.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_smoke.json" if args.smoke else "BENCH_tentpole.json"
+    result = run_suite(smoke=args.smoke)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+    print(f"[regress] wrote {args.out}")
+    sr = result["scenarios"]["stokes_repeat"]
+    print(
+        f"[regress] stokes_repeat speedup {sr['speedup']:.2f}x "
+        f"(baseline {sr['baseline_s']:.2f}s -> optimized {sr['optimized_s']:.2f}s), "
+        f"lag iteration ratio {sr['lag_iter_ratio']:.3f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,8 +22,13 @@ import numpy as np
 from ..amr import adapt_mesh
 from ..fem import AdvectionDiffusion, StokesSystem, element_velocity_from_nodal
 from ..mesh import Mesh, extract_mesh
+from ..mesh.opcache import cache_disabled, operator_cache
 from ..octree import LinearOctree
-from ..solvers import StokesBlockPreconditioner, minres
+from ..solvers import (
+    LaggedStokesPreconditioner,
+    StokesBlockPreconditioner,
+    minres,
+)
 from .error import combined_indicator
 from .viscosity import ArrheniusViscosity, element_temperature, strain_rate_invariant
 
@@ -68,6 +73,17 @@ class RheaConfig:
     yield_weight: float = 0.75
     velocity_bc: str = "free_slip"
     mark_tol: float = 0.08
+    #: memoize mesh-derived operators (scatter patterns, Z3, dof maps)
+    #: between Picard passes and time steps; value-transparent, so results
+    #: are bitwise identical with caching off
+    cache_operators: bool = True
+    #: lagged AMG setup: reuse the preconditioner hierarchy until the
+    #: element viscosity drifts past this relative threshold.  ``None``
+    #: rebuilds on every Picard pass (the pre-amortization behavior);
+    #: ``0.0`` reuses only for bitwise-unchanged viscosity.
+    prec_lag_rtol: float | None = 0.3
+    #: warm-start MINRES from the previous velocity/pressure solution
+    warm_start: bool = True
 
 
 @dataclass
@@ -111,6 +127,13 @@ class MantleConvection:
         self.history: list[StepDiagnostics] = []
         self._last_minres = 0
         self._last_picard = 0
+        self._prec_lag = (
+            LaggedStokesPreconditioner(rtol=cfg.prec_lag_rtol)
+            if cfg.prec_lag_rtol is not None
+            else None
+        )
+        self._p_prev: np.ndarray | None = None  # pressure warm start
+        self._p_prev_mesh: Mesh | None = None
 
     # -- initial adaptation -----------------------------------------------------
 
@@ -129,6 +152,13 @@ class MantleConvection:
         f[:, 2] = self.config.Ra * self.T
         return f
 
+    def _cache_ctx(self):
+        """Context honoring ``config.cache_operators`` (memoization is
+        value-transparent, so this only changes speed, not results)."""
+        from contextlib import nullcontext
+
+        return nullcontext() if self.config.cache_operators else cache_disabled()
+
     def solve_stokes(self) -> dict:
         """Picard iteration over the strain-rate-dependent viscosity.
 
@@ -136,12 +166,17 @@ class MantleConvection:
         assembles the Stokes system, and solves by MINRES with the block
         preconditioner.  Returns solver statistics.
         """
+        with self._cache_ctx():
+            return self._solve_stokes_impl()
+
+    def _solve_stokes_impl(self) -> dict:
         cfg = self.config
         mesh = self.mesh
         T_e = element_temperature(mesh, self.T)
         z_e = mesh.element_centers()[:, 2] / cfg.domain[2]
         total_minres = 0
         n_picard = 0
+        n = mesh.n_independent
         for k in range(max(cfg.picard_iterations, 1)):
             n_picard = k + 1
             edot = strain_rate_invariant(mesh, self.u)
@@ -149,14 +184,19 @@ class MantleConvection:
             self.eta_elem = eta
             self.edot_elem = edot
             st = StokesSystem(mesh, eta, self._body_force(), bc=cfg.velocity_bc)
-            prec = StokesBlockPreconditioner(st)
+            if self._prec_lag is not None:
+                prec = self._prec_lag.get(st)
+            else:
+                prec = StokesBlockPreconditioner(st)
+            x0 = self._warm_start(st) if cfg.warm_start else None
             res = minres(
-                st.matvec, st.rhs(), M=prec.apply,
+                st.matvec, st.rhs(), M=prec.apply, x0=x0,
                 tol=cfg.stokes_tol, maxiter=cfg.stokes_maxiter,
             )
             x = st.project_pressure_mean(res.x)
             total_minres += res.iterations
-            n = mesh.n_independent
+            self._p_prev = x[3 * n :].copy()
+            self._p_prev_mesh = mesh
             u_new = np.empty((mesh.n_nodes, 3))
             for a in range(3):
                 u_new[:, a] = mesh.expand(x[a * n : (a + 1) * n])
@@ -166,19 +206,43 @@ class MantleConvection:
                 break
         self._last_minres = total_minres
         self._last_picard = n_picard
-        return {
+        stats = {
             "minres_iterations": total_minres,
             "picard_iterations": n_picard,
             "eta_min": float(self.eta_elem.min()),
             "eta_max": float(self.eta_elem.max()),
             "converged": res.converged,
         }
+        if self._prec_lag is not None:
+            stats["prec_builds"] = self._prec_lag.n_builds
+            stats["prec_reuses"] = self._prec_lag.n_reuses
+        return stats
+
+    def _warm_start(self, st: StokesSystem) -> np.ndarray | None:
+        """Initial MINRES guess from the current velocity field (which
+        survives mesh adaptation through the field transfer) and, on an
+        unchanged mesh, the previous pressure solution."""
+        mesh = self.mesh
+        n = mesh.n_independent
+        if not np.any(self.u):
+            return None
+        x0 = np.zeros(st.n_dof)
+        for a in range(3):
+            x0[a * n : (a + 1) * n] = self.u[mesh.indep_nodes, a]
+        x0[st.bc.dofs] = 0.0
+        if self._p_prev is not None and self._p_prev_mesh is mesh:
+            x0[3 * n :] = self._p_prev
+        return x0
 
     # -- temperature -------------------------------------------------------------------
 
     def advance_temperature(self, n_steps: int) -> float:
         """Advance the energy equation ``n_steps`` explicit steps with the
         frozen Stokes velocity; returns the time step used."""
+        with self._cache_ctx():
+            return self._advance_temperature_impl(n_steps)
+
+    def _advance_temperature_impl(self, n_steps: int) -> float:
         cfg = self.config
         vel_e = element_velocity_from_nodal(self.mesh, self.u)
         eq = AdvectionDiffusion(
@@ -267,6 +331,16 @@ class MantleConvection:
         vol = self.mesh.element_sizes().prod(axis=1)
         T_e = element_temperature(self.mesh, self.T)
         return float((vol * T_e).sum() / vol.sum())
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the current mesh's operator cache plus the
+        lagged-preconditioner build/reuse tallies."""
+        c = operator_cache(self.mesh)
+        out = {"cache_hits": c.hits, "cache_misses": c.misses}
+        if self._prec_lag is not None:
+            out["prec_builds"] = self._prec_lag.n_builds
+            out["prec_reuses"] = self._prec_lag.n_reuses
+        return out
 
     # -- main loop ----------------------------------------------------------------------
 

@@ -1,8 +1,16 @@
 """Linear and time-stepping solvers: MINRES, smoothed-aggregation AMG,
 the block-diagonal Stokes preconditioner, and explicit integrators."""
 
-from .amg import AMGLevel, SmoothedAggregationAMG, aggregate, strength_graph
-from .blockprec import StokesBlockPreconditioner
+from .amg import (
+    AMGLevel,
+    SmoothedAggregationAMG,
+    aggregate,
+    aggregate_reference,
+    legacy_aggregation,
+    legacy_smoother,
+    strength_graph,
+)
+from .blockprec import LaggedStokesPreconditioner, StokesBlockPreconditioner
 from .cg import CGResult, cg
 from .minres import MinresResult, minres
 from .timestep import LowStorageRK45, heun_step
@@ -11,8 +19,12 @@ __all__ = [
     "SmoothedAggregationAMG",
     "AMGLevel",
     "aggregate",
+    "aggregate_reference",
+    "legacy_aggregation",
+    "legacy_smoother",
     "strength_graph",
     "StokesBlockPreconditioner",
+    "LaggedStokesPreconditioner",
     "cg",
     "CGResult",
     "minres",

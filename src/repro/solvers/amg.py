@@ -23,13 +23,58 @@ operator — required for use inside MINRES.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-__all__ = ["SmoothedAggregationAMG", "AMGLevel"]
+__all__ = [
+    "SmoothedAggregationAMG",
+    "AMGLevel",
+    "aggregate",
+    "aggregate_reference",
+    "legacy_smoother",
+    "legacy_aggregation",
+]
+
+#: When True (default), Gauss-Seidel triangular solves are factorized once
+#: at setup (``splu`` in natural order, which performs exactly the
+#: substitution sweep).  The False path re-runs ``spsolve_triangular``
+#: per sweep — the pre-optimization behavior, kept for the perf harness's
+#: before/after baseline.
+USE_FACTORIZED_SMOOTHER = True
+
+#: When True (default), setup uses the vectorized :func:`aggregate`;
+#: False restores the sequential :func:`aggregate_reference`.
+USE_VECTORIZED_AGGREGATION = True
+
+
+@contextmanager
+def legacy_smoother():
+    """Run with the per-sweep ``spsolve_triangular`` smoother (baseline
+    timing mode for :mod:`repro.perf.regress`)."""
+    global USE_FACTORIZED_SMOOTHER
+    prev = USE_FACTORIZED_SMOOTHER
+    USE_FACTORIZED_SMOOTHER = False
+    try:
+        yield
+    finally:
+        USE_FACTORIZED_SMOOTHER = prev
+
+
+@contextmanager
+def legacy_aggregation():
+    """Run AMG setup with the sequential greedy aggregation (baseline
+    timing mode for :mod:`repro.perf.regress`)."""
+    global USE_VECTORIZED_AGGREGATION
+    prev = USE_VECTORIZED_AGGREGATION
+    USE_VECTORIZED_AGGREGATION = False
+    try:
+        yield
+    finally:
+        USE_VECTORIZED_AGGREGATION = prev
 
 
 def strength_graph(A: sp.csr_matrix, theta: float) -> sp.csr_matrix:
@@ -44,8 +89,10 @@ def strength_graph(A: sp.csr_matrix, theta: float) -> sp.csr_matrix:
     )
 
 
-def aggregate(S: sp.csr_matrix) -> tuple[np.ndarray, int]:
-    """Greedy root-point aggregation.
+def aggregate_reference(S: sp.csr_matrix) -> tuple[np.ndarray, int]:
+    """Sequential greedy root-point aggregation (pre-vectorization form,
+    kept as the oracle for :func:`aggregate`'s equivalence/quality tests
+    and as the perf harness baseline).
 
     Returns ``(agg, n_agg)`` where ``agg[i]`` is the aggregate index of
     node ``i`` (every node is assigned).
@@ -78,6 +125,107 @@ def aggregate(S: sp.csr_matrix) -> tuple[np.ndarray, int]:
     return agg, n_agg
 
 
+def _row_min(indptr: np.ndarray, indices: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Per-row minimum of ``v`` over a CSR pattern's columns (+inf for
+    empty rows) — one min-propagation sweep of the strength graph."""
+    n = len(indptr) - 1
+    out = np.full(n, np.inf)
+    nonempty = indptr[:-1] < indptr[1:]
+    if nonempty.any():
+        # reduceat over starts of nonempty rows only: indptr is constant
+        # across empty rows, so each segment spans exactly one row
+        out[nonempty] = np.minimum.reduceat(v[indices], indptr[:-1][nonempty])
+    return out
+
+
+def _gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated column indices of the given rows, plus per-row counts."""
+    counts = indptr[rows + 1] - indptr[rows]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), counts
+    excl = np.cumsum(counts) - counts
+    flat = np.arange(total) + np.repeat(indptr[rows] - excl, counts)
+    return indices[flat], counts
+
+
+def aggregate(
+    S: sp.csr_matrix, prio: np.ndarray | None = None
+) -> tuple[np.ndarray, int]:
+    """Vectorized root-point aggregation (same three-pass structure as
+    :func:`aggregate_reference`, no per-node Python loop).  ``prio``
+    overrides the pass-1 selection priorities (tests use this to pin a
+    specific root layout).
+
+    Pass 1 is a round-parallel maximal-independent-set sweep on the
+    distance-2 graph: fixed seeded random priorities, and a node becomes
+    a root when its priority is the minimum over its closed distance-2
+    neighborhood (two min-propagation sweeps).  Selected roots are
+    pairwise at distance >= 3, so their strong neighborhoods are disjoint
+    and can be claimed in bulk.  Pass 2 attaches stragglers to the
+    neighboring aggregate with the largest strong-connection weight
+    (iterated so chains of stragglers resolve).  Pass 3 turns isolated
+    leftovers into singletons.
+    """
+    n = S.shape[0]
+    agg = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return agg, 0
+    indptr, indices = S.indptr, S.indices
+    if prio is None:
+        # deterministic random priorities: round-parallel MIS on the
+        # distance-2 graph needs O(log n) expected rounds with random
+        # priorities, while natural grid ordering degenerates to O(n) rounds
+        prio = np.random.default_rng(0x5AA6).permutation(n).astype(np.float64)
+    else:
+        prio = np.asarray(prio, dtype=np.float64)
+    n_agg = 0
+    # pass 1: parallel-MIS roots with disjoint strong neighborhoods
+    while True:
+        decided = agg >= 0
+        blocked = (S @ decided.astype(np.float64)) > 0
+        cand = ~decided & ~blocked
+        if not cand.any():
+            break
+        v = np.where(cand, prio, np.inf)
+        m1 = np.minimum(_row_min(indptr, indices, v), v)
+        m2 = np.minimum(_row_min(indptr, indices, m1), m1)
+        roots = np.flatnonzero(cand & (v == m2))
+        ids = n_agg + np.arange(len(roots), dtype=np.int64)
+        agg[roots] = ids
+        nbrs, counts = _gather_rows(indptr, indices, roots)
+        agg[nbrs] = np.repeat(ids, counts)
+        n_agg += len(roots)
+    # pass 2: attach stragglers to the most strongly connected aggregate
+    # (argmax of summed strong-connection weight, smallest id on ties)
+    while True:
+        un = np.flatnonzero(agg < 0)
+        if len(un) == 0 or n_agg == 0:
+            break
+        assigned = np.flatnonzero(agg >= 0)
+        onehot = sp.csr_matrix(
+            (np.ones(len(assigned)), (assigned, agg[assigned])), shape=(n, n_agg)
+        )
+        W = sp.csr_matrix(S[un] @ onehot)  # (straggler, aggregate) weights
+        W.sum_duplicates()
+        Wp, Wi, Wd = W.indptr, W.indices, W.data
+        nonempty = np.flatnonzero(Wp[:-1] < Wp[1:])
+        if len(nonempty) == 0:
+            break
+        starts = Wp[:-1][nonempty]
+        rowmax = np.maximum.reduceat(Wd, starts)
+        expand = np.repeat(rowmax, Wp[1:][nonempty] - starts)
+        masked_cols = np.where(Wd == expand, Wi, n_agg)
+        agg[un[nonempty]] = np.minimum.reduceat(masked_cols, starts)
+    # pass 3: remaining isolated nodes become singleton aggregates
+    rest = np.flatnonzero(agg < 0)
+    agg[rest] = n_agg + np.arange(len(rest), dtype=np.int64)
+    n_agg += len(rest)
+    return agg, n_agg
+
+
 def _estimate_rho(DinvA: sp.csr_matrix, iters: int = 12, seed: int = 0) -> float:
     """Power-iteration estimate of the spectral radius of D^{-1} A."""
     rng = np.random.default_rng(seed)
@@ -100,6 +248,22 @@ class AMGLevel:
     P: sp.csr_matrix | None  # prolongator to this level's fine grid (None on finest)
     L: sp.csr_matrix | None = None  # lower triangle incl. diag (GS)
     U: sp.csr_matrix | None = None  # upper triangle incl. diag (GS)
+    #: factorized triangular solves, precomputed at setup: calling
+    #: ``spsolve_triangular`` per smoothing sweep revalidates and copies
+    #: the triangle every time, which dominated V-cycle cost
+    Lsolve: object = None
+    Usolve: object = None
+
+
+def _triangular_solver(T: sp.csr_matrix):
+    """Reusable direct solver for a triangular factor (natural order, no
+    pivoting, so it performs exactly the substitution sweep)."""
+    lu = spla.splu(
+        sp.csc_matrix(T),
+        permc_spec="NATURAL",
+        options=dict(DiagPivotThresh=0.0, SymmetricMode=True),
+    )
+    return lu.solve
 
 
 class SmoothedAggregationAMG:
@@ -136,7 +300,8 @@ class SmoothedAggregationAMG:
         ):
             Af = self.levels[-1].A
             S = strength_graph(Af, theta)
-            agg, n_agg = aggregate(S)
+            agg_fn = aggregate if USE_VECTORIZED_AGGREGATION else aggregate_reference
+            agg, n_agg = agg_fn(S)
             if n_agg >= Af.shape[0]:
                 break  # no coarsening possible
             T = sp.csr_matrix(
@@ -156,6 +321,9 @@ class SmoothedAggregationAMG:
         for lvl in self.levels[:-1]:
             lvl.L = sp.csr_matrix(sp.tril(lvl.A, format="csr"))
             lvl.U = sp.csr_matrix(sp.triu(lvl.A, format="csr"))
+            if USE_FACTORIZED_SMOOTHER:
+                lvl.Lsolve = _triangular_solver(lvl.L)
+                lvl.Usolve = _triangular_solver(lvl.U)
         # coarse direct solve
         Acoarse = self.levels[-1].A.toarray()
         # pinv tolerates a semidefinite coarse operator (pure Neumann)
@@ -181,13 +349,19 @@ class SmoothedAggregationAMG:
     def _smooth_forward(self, lvl: AMGLevel, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         for _ in range(self.presmooth):
             r = b - lvl.A @ x
-            x = x + spla.spsolve_triangular(lvl.L, r, lower=True, unit_diagonal=False)
+            if lvl.Lsolve is not None:
+                x = x + lvl.Lsolve(r)
+            else:
+                x = x + spla.spsolve_triangular(lvl.L, r, lower=True)
         return x
 
     def _smooth_backward(self, lvl: AMGLevel, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         for _ in range(self.postsmooth):
             r = b - lvl.A @ x
-            x = x + spla.spsolve_triangular(lvl.U, r, lower=False, unit_diagonal=False)
+            if lvl.Usolve is not None:
+                x = x + lvl.Usolve(r)
+            else:
+                x = x + spla.spsolve_triangular(lvl.U, r, lower=False)
         return x
 
     def _cycle(self, k: int, b: np.ndarray) -> np.ndarray:

@@ -70,14 +70,28 @@ def minres(
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
     maxiter = maxiter if maxiter is not None else 5 * n
 
-    r1 = b - apply_A(x)
+    warm = x0 is not None and np.any(x)
+    r1 = (b - apply_A(x)) if warm else b.copy()
     y = apply_M(r1)
     beta1 = float(r1 @ y)
     if beta1 < 0:
         raise ValueError("preconditioner is not positive definite")
     beta1 = np.sqrt(beta1)
     residuals = [beta1]
-    if beta1 == 0.0:
+    # Convergence is measured against ||b||_M, not the initial residual:
+    # with a warm start the initial residual is already small and a
+    # residual-relative test would demand an absolutely tighter solution
+    # than the cold start it is meant to accelerate.  For x0 = 0 the two
+    # references coincide, so cold-start behavior is unchanged.
+    if warm:
+        yb = apply_M(b)
+        ref = float(b @ yb)
+        if ref < 0:
+            raise ValueError("preconditioner is not positive definite")
+        ref = np.sqrt(ref)
+    else:
+        ref = beta1
+    if beta1 <= tol * ref:
         return MinresResult(x=x, iterations=0, converged=True, residuals=residuals)
 
     oldb = 0.0
@@ -132,7 +146,7 @@ def minres(
         residuals.append(abs(phibar))
         if callback is not None:
             callback(x)
-        if abs(phibar) <= tol * beta1:
+        if abs(phibar) <= tol * ref:
             converged = True
             break
 

@@ -201,3 +201,42 @@ class TestSphereAdvection:
         com_y0 = (dg.Mdiag.ravel() * u * x[:, 1]).sum() / dg.total_mass(u)
         com_y1 = (dg.Mdiag.ravel() * u2 * x[:, 1]).sum() / dg.total_mass(u2)
         assert com_y1 > com_y0 + 0.05
+
+
+class TestBatchedFaceConstruction:
+    """Satellite: the batched face classifier must be a drop-in for the
+    per-face loop — bitwise-identical rate(u) for every order P."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_p_invariance_adapted_cube(self, p):
+        f = cube_forest(1, refine_first=True)
+        wind = const_wind([0.7, -0.4, 0.2])
+        dg_loop = DGAdvection(f, p=p, velocity=wind, batch_faces=False)
+        dg_bat = DGAdvection(f, p=p, velocity=wind, batch_faces=True)
+        x = dg_bat.nodes()
+        u = np.sin(3 * x[:, 0]) * np.cos(2 * x[:, 1]) + x[:, 2] ** 2
+        assert np.array_equal(dg_loop.rate(u), dg_bat.rate(u))
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_p_invariance_cubed_sphere(self, p):
+        """Cross-tree faces take the per-face fallback; same-tree faces
+        batch.  The mix must still reproduce the loop bitwise."""
+        conn = cubed_sphere_connectivity(r_inner=0.55, r_outer=1.0)
+        forest = Forest.uniform(conn, 1)
+        wind = solid_body_rotation()
+        dg_loop = DGAdvection(forest, p=p, velocity=wind, batch_faces=False)
+        dg_bat = DGAdvection(forest, p=p, velocity=wind, batch_faces=True)
+        x = dg_bat.nodes()
+        u = np.exp(-8.0 * ((x[:, 0] - 0.7) ** 2 + x[:, 1] ** 2 + x[:, 2] ** 2))
+        assert np.array_equal(dg_loop.rate(u), dg_bat.rate(u))
+
+    def test_p_invariance_nonconforming_brick(self, p=2):
+        f = Forest.uniform(brick_connectivity(2, 1, 1), 1)
+        mask = np.zeros(len(f), dtype=bool)
+        mask[:4] = True
+        f, _ = f.refine(mask).balance()
+        wind = const_wind([1.0, 0.3, -0.2])
+        dg_loop = DGAdvection(f, p=p, velocity=wind, batch_faces=False)
+        dg_bat = DGAdvection(f, p=p, velocity=wind, batch_faces=True)
+        u = dg_bat.project(lambda x: x[:, 0] ** 2 - x[:, 1] * x[:, 2])
+        assert np.array_equal(dg_loop.rate(u), dg_bat.rate(u))

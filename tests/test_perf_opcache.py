@@ -1,0 +1,216 @@
+"""Tests for the setup-amortization layer: operator cache, cached
+scatter assembly, lagged preconditioner, warm starts, and the perf
+regression mini-suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mesh.opcache import (
+    CachedScatter,
+    cache_disabled,
+    cache_stats,
+    operator_cache,
+    reset_cache_stats,
+)
+from repro.octree import LinearOctree
+from repro.rhea import MantleConvection, RheaConfig
+
+
+class TestCachedScatter:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_coo_assembly(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = 40, 35
+        nnz = 500
+        rows = rng.integers(0, m, nnz)
+        cols = rng.integers(0, n, nnz)
+        scatter = CachedScatter(rows, cols, (m, n))
+        for _ in range(3):
+            data = rng.standard_normal(nnz)
+            A = scatter.assemble(data)
+            B = sp.coo_matrix((data, (rows, cols)), shape=(m, n)).tocsr()
+            B.sum_duplicates()
+            B.sort_indices()
+            assert np.array_equal(A.indptr, B.indptr)
+            assert np.array_equal(A.indices, B.indices)
+            np.testing.assert_allclose(A.data, B.data, rtol=1e-15)
+
+    def test_replay_does_not_mutate_pattern(self):
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, 10, 60)
+        cols = rng.integers(0, 10, 60)
+        scatter = CachedScatter(rows, cols, (10, 10))
+        A1 = scatter.assemble(np.ones(60))
+        idx = scatter.indices.copy()
+        # operations that would normally canonicalize in place
+        _ = A1 @ np.ones(10)
+        _ = A1.T @ A1
+        A2 = scatter.assemble(np.ones(60))
+        assert np.array_equal(scatter.indices, idx)
+        assert np.array_equal(A1.toarray(), A2.toarray())
+
+
+def _mini_config(**kw):
+    base = dict(
+        initial_level=2,
+        picard_iterations=2,
+        adapt_every=1,
+        stokes_tol=1e-8,
+    )
+    base.update(kw)
+    return RheaConfig(**base)
+
+
+def _three_steps(cfg):
+    sim = MantleConvection(cfg, tree=LinearOctree.uniform(cfg.initial_level))
+    iters = 0
+    for _ in range(3):
+        stats = sim.solve_stokes()
+        iters += stats["minres_iterations"]
+        sim.advance_temperature(1)
+    return sim, iters
+
+
+class TestCacheTransparency:
+    def test_bitwise_identical_on_off(self):
+        """Memoization must never change arithmetic: a 3-step convection
+        run with the cache on and off produces bitwise-identical fields.
+        (Lag rtol=0.0 reuses the AMG hierarchy only for bitwise-unchanged
+        viscosity, which is itself value-transparent.)"""
+        on, it_on = _three_steps(
+            _mini_config(cache_operators=True, prec_lag_rtol=0.0)
+        )
+        off, it_off = _three_steps(
+            _mini_config(cache_operators=False, prec_lag_rtol=0.0)
+        )
+        assert it_on == it_off
+        assert np.array_equal(on.T, off.T)
+        assert np.array_equal(on.u, off.u)
+        assert on.vrms() == off.vrms()
+
+    def test_cache_counters(self):
+        reset_cache_stats()
+        sim, _ = _three_steps(_mini_config())
+        stats = cache_stats()
+        assert stats["hits"] > 0 and stats["misses"] > 0
+        local = operator_cache(sim.mesh)
+        assert local.hits > 0
+
+    def test_disabled_context_bypasses_store(self):
+        sim = MantleConvection(_mini_config())
+        cache = operator_cache(sim.mesh)
+        with cache_disabled():
+            val = cache.get("probe", lambda: np.arange(3))
+        assert "probe" not in cache.store
+        assert np.array_equal(val, np.arange(3))
+
+
+class TestInvalidation:
+    def test_adapt_produces_fresh_cache(self):
+        """Structural invalidation: adapt() yields a new mesh object and
+        with it an empty cache — nothing survives from the old mesh."""
+        cfg = _mini_config(max_level=3, target_elements=100)
+        sim = MantleConvection(cfg)
+        sim.solve_stokes()
+        old_mesh = sim.mesh
+        old_cache = operator_cache(old_mesh)
+        assert len(old_cache.store) > 0
+        sim.adapt()
+        assert sim.mesh is not old_mesh
+        new_cache = operator_cache(sim.mesh)
+        assert new_cache is not old_cache
+        assert "Z3" not in new_cache.store  # no Stokes operators carried over
+        # a solve on the adapted mesh repopulates with correctly-sized ops
+        sim.solve_stokes()
+        Z3_old = old_cache.store["Z3"]
+        Z3_new = new_cache.store["Z3"]
+        assert Z3_new.shape[0] == 3 * sim.mesh.n_nodes
+        assert Z3_new.shape != Z3_old.shape
+
+    def test_lagged_prec_rebuilds_after_adapt(self):
+        cfg = _mini_config(max_level=3, target_elements=100)
+        sim = MantleConvection(cfg)
+        sim.solve_stokes()
+        builds0 = sim._prec_lag.n_builds
+        sim.adapt()
+        sim.solve_stokes()
+        assert sim._prec_lag.n_builds > builds0
+
+
+class TestLaggedPreconditioner:
+    def test_iterations_within_20_percent_of_rebuild(self):
+        """Acceptance bound: lagging the AMG setup may not inflate MINRES
+        iterations by more than 20% over rebuild-every-pass."""
+        _, it_lag = _three_steps(_mini_config(prec_lag_rtol=0.3))
+        _, it_rebuild = _three_steps(_mini_config(prec_lag_rtol=None))
+        assert it_lag <= 1.2 * it_rebuild
+
+    def test_reuse_happens_between_picard_passes(self):
+        sim, _ = _three_steps(_mini_config(prec_lag_rtol=0.5))
+        assert sim._prec_lag.n_reuses > 0
+        assert sim._prec_lag.n_builds >= 1
+
+    def test_zero_rtol_reuses_only_bitwise_equal_viscosity(self):
+        from repro.solvers import LaggedStokesPreconditioner
+
+        lag = LaggedStokesPreconditioner(rtol=0.0)
+        eta = np.array([1.0, 2.0, 3.0])
+        lag._eta_ref = eta.copy()
+        assert lag.drift(eta) == 0.0
+        assert lag.drift(eta * (1 + 1e-15)) > 0.0
+        assert lag.drift(np.ones(5)) == np.inf  # shape change
+
+
+class TestWarmStart:
+    def test_warm_start_reduces_total_iterations(self):
+        _, it_warm = _three_steps(_mini_config(warm_start=True, prec_lag_rtol=None))
+        _, it_cold = _three_steps(_mini_config(warm_start=False, prec_lag_rtol=None))
+        assert it_warm <= it_cold
+
+    def test_minres_zero_x0_matches_cold_start(self):
+        """x0 of zeros must take exactly the legacy cold-start path."""
+        from repro.solvers import minres
+
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((30, 30))
+        A = A + A.T + 30 * np.eye(30)
+        b = rng.standard_normal(30)
+        r_none = minres(A, b, tol=1e-10)
+        r_zero = minres(A, b, x0=np.zeros(30), tol=1e-10)
+        assert r_none.iterations == r_zero.iterations
+        assert np.array_equal(r_none.x, r_zero.x)
+
+    def test_minres_warm_start_converges_to_same_solution(self):
+        from repro.solvers import minres
+
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((40, 40))
+        A = A + A.T + 40 * np.eye(40)
+        b = rng.standard_normal(40)
+        x_exact = np.linalg.solve(A, b)
+        cold = minres(A, b, tol=1e-10)
+        warm = minres(A, b, x0=x_exact + 1e-6 * rng.standard_normal(40), tol=1e-10)
+        assert warm.converged and cold.converged
+        assert warm.iterations < cold.iterations
+        np.testing.assert_allclose(warm.x, x_exact, rtol=0, atol=1e-7)
+
+
+class TestPerfSuiteSmoke:
+    def test_smoke_suite_emits_all_scenarios(self):
+        from repro.perf.regress import run_suite
+
+        out = run_suite(smoke=True)
+        sc = out["scenarios"]
+        assert set(sc) == {
+            "stokes_repeat",
+            "convection_mini",
+            "dg_cubed_sphere",
+            "amg_setup",
+        }
+        assert sc["stokes_repeat"]["cache_hits"] > 0
+        assert sc["convection_mini"]["cache_hits"] > 0
+        assert sc["convection_mini"]["prec_reuses"] >= 0
+        assert sc["dg_cubed_sphere"]["rate_bitwise_equal"] is True
+        assert sc["amg_setup"]["n_agg_vectorized"] <= sc["amg_setup"]["n_agg_reference"]
+        assert sc["stokes_repeat"]["vrms_rel_diff"] < 1e-4

@@ -136,3 +136,128 @@ class TestVcycle:
         A = sp.csr_matrix(np.diag([2.0, 3.0]))
         amg = SmoothedAggregationAMG(A, max_coarse=10)
         np.testing.assert_allclose(amg.vcycle(np.array([2.0, 3.0])), [1.0, 1.0])
+
+
+class TestVectorizedAggregation:
+    """The vectorized aggregation (parallel-MIS pass 1, argmax-weight
+    pass 2) against the sequential reference."""
+
+    def _valid_partition(self, S, agg, n_agg):
+        n = S.shape[0]
+        assert agg.shape == (n,)
+        assert agg.min() >= 0 and agg.max() == n_agg - 1
+        assert len(np.unique(agg)) == n_agg  # no empty aggregates
+
+    @pytest.mark.parametrize("m", [6, 10])
+    def test_valid_partition_model_poisson(self, m):
+        from repro.solvers import aggregate_reference
+
+        S = strength_graph(laplace_7pt(m), 0.08)
+        agg, n_agg = aggregate(S)
+        self._valid_partition(S, agg, n_agg)
+        _, n_ref = aggregate_reference(S)
+        # quality pin: the vectorized pass must coarsen at least as
+        # aggressively as the sequential greedy (fewer, larger aggregates)
+        # while keeping aggregates within the sane SA size band
+        assert n_agg <= n_ref
+        assert S.shape[0] / n_agg >= 3
+
+    def test_valid_partition_random_graphs(self):
+        rng = np.random.default_rng(3)
+        for n, d in ((100, 4), (700, 8)):
+            rows = np.repeat(np.arange(n), d)
+            cols = rng.integers(0, n, n * d)
+            G = sp.csr_matrix((np.ones(n * d), (rows, cols)), shape=(n, n))
+            G = sp.csr_matrix(((G + G.T) > 0).astype(float))
+            G.setdiag(0)
+            G.eliminate_zeros()
+            agg, n_agg = aggregate(sp.csr_matrix(G))
+            self._valid_partition(G, agg, n_agg)
+
+    def test_empty_graph_all_singletons(self):
+        from repro.solvers import aggregate_reference
+
+        S = sp.csr_matrix((7, 7))
+        agg, n_agg = aggregate(S)
+        agg_r, n_r = aggregate_reference(S)
+        assert n_agg == n_r == 7
+        assert np.array_equal(agg, agg_r)
+
+    def test_pass1_roots_have_disjoint_neighborhoods(self):
+        """Parallel-MIS roots are pairwise at distance >= 3, so no node is
+        claimed by two roots: every aggregate from pass 1 is a star."""
+        S = strength_graph(laplace_7pt(8), 0.08)
+        agg, n_agg = aggregate(S)
+        # every member of an aggregate is the root or adjacent to it:
+        # aggregate diameter <= 2 for star-shaped pass-1 aggregates, and
+        # pass-2/3 members are adjacent to an assigned member, so every
+        # aggregate stays connected in S + I
+        for a in range(min(n_agg, 50)):
+            members = np.flatnonzero(agg == a)
+            sub = S[members][:, members]
+            nc = sp.csgraph.connected_components(sub + sp.eye(len(members)))[0]
+            assert nc == 1
+
+    def test_pass2_prefers_most_connected_aggregate(self):
+        """A straggler with 1 strong link to aggregate A and 2 to
+        aggregate B must join B (argmax of strong-connection weight),
+        where the sequential reference just took the first hit."""
+        # priorities pin roots 0 and 2 in pass 1, giving stars {0, 1}
+        # (agg A) and {2, 3, 4} (agg B); node 5 has decided neighbors but
+        # no adjacent root, so it survives as a pass-2 straggler with one
+        # link into A (via 1) and two into B (via 3, 4)
+        edges = [(0, 1), (2, 3), (2, 4), (5, 1), (5, 3), (5, 4)]
+        rows = [e[0] for e in edges] + [e[1] for e in edges]
+        cols = [e[1] for e in edges] + [e[0] for e in edges]
+        S = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(6, 6))
+        agg, n_agg = aggregate(S, prio=np.array([0.0, 5.0, 1.0, 4.0, 3.0, 2.0]))
+        assert n_agg == 2
+        assert agg[0] == agg[1]
+        assert agg[2] == agg[3] == agg[4]
+        assert agg[1] != agg[3]
+        assert agg[5] == agg[3]  # argmax weight: B (2 links) over A (1)
+
+    def test_pass2_reference_takes_first_hit(self):
+        """Documents the behavior the argmax pass 2 replaces: the
+        sequential reference attaches a straggler to the aggregate of its
+        first assigned neighbor regardless of connection weight."""
+        from repro.solvers import aggregate_reference
+
+        edges = [(0, 1), (2, 3), (2, 4), (5, 1), (5, 3), (5, 4)]
+        rows = [e[0] for e in edges] + [e[1] for e in edges]
+        cols = [e[1] for e in edges] + [e[0] for e in edges]
+        S = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(6, 6))
+        agg, n_agg = aggregate_reference(S)
+        assert agg[5] == agg[1]  # first hit, despite 2 links into B
+
+    def test_legacy_toggles_restore(self):
+        import repro.solvers.amg as amg_mod
+        from repro.solvers import legacy_aggregation, legacy_smoother
+
+        assert amg_mod.USE_VECTORIZED_AGGREGATION
+        with legacy_aggregation():
+            assert not amg_mod.USE_VECTORIZED_AGGREGATION
+            amg = SmoothedAggregationAMG(laplace_7pt(6))
+            assert amg.n_levels >= 2
+        assert amg_mod.USE_VECTORIZED_AGGREGATION
+        assert amg_mod.USE_FACTORIZED_SMOOTHER
+        with legacy_smoother():
+            amg = SmoothedAggregationAMG(laplace_7pt(6))
+            b = np.ones(6**3)
+            x, it, conv = amg.solve(b, tol=1e-8)
+            assert conv
+        assert amg_mod.USE_FACTORIZED_SMOOTHER
+
+    def test_smoother_paths_agree(self):
+        """Factorized triangular solves must reproduce the per-sweep
+        spsolve_triangular smoother to solver accuracy."""
+        from repro.solvers import legacy_smoother
+
+        A = laplace_7pt(6)
+        b = np.sin(np.arange(A.shape[0]))
+        amg_fast = SmoothedAggregationAMG(A)
+        with legacy_smoother():
+            amg_slow = SmoothedAggregationAMG(A)
+        z_fast = amg_fast.vcycle(b)
+        z_slow = amg_slow.vcycle(b)
+        np.testing.assert_allclose(z_fast, z_slow, rtol=1e-10, atol=1e-12)
