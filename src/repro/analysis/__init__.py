@@ -1,0 +1,46 @@
+"""Correctness tooling for the SPMD reproduction.
+
+The paper's scalability argument rests on properties that are easy to
+break silently in a growing codebase:
+
+- **bulk-synchronous SPMD symmetry** — every rank must issue the same
+  collective sequence (``BalanceTree``, ``PartitionTree``,
+  ``ExtractMesh`` all hinge on matched ``allgather`` / ``allreduce`` /
+  ``alltoall`` rounds); a single rank-dependent branch around a
+  collective deadlocks or corrupts a run,
+- **cache purity** — the setup-amortization layer (PR 1) memoizes
+  mesh-derived operators and lags the AMG preconditioner; both are only
+  correct if cached state is never mutated in place,
+- **dtype discipline** — hot kernels assume float64 arithmetic;
+  accidental float32 mixing degrades MINRES/AMG convergence invisibly.
+
+Two prongs check these properties:
+
+``repro.analysis.lint``
+    A static AST linter with repo-specific rules R1-R4, runnable as
+    ``python -m repro.analysis.lint src/``.  Stdlib-only.
+
+``repro.analysis.sanitize``
+    Runtime sanitizers: :class:`~repro.analysis.sanitize.CheckedComm`
+    (collective-divergence detection that raises instead of
+    deadlocking, plus a seeded message-delivery fuzzer) and
+    :func:`~repro.analysis.sanitize.freeze` /
+    :func:`~repro.analysis.sanitize.verify_frozen` hash guards wired
+    into the operator cache and the lagged preconditioner.  Enabled by
+    ``REPRO_SANITIZE=1``.
+
+The submodules are imported lazily so the linter stays importable
+without numpy (CI runs it before installing the numeric toolchain).
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "sanitize"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,730 @@
+"""SPMD correctness linter: repo-specific static rules over the AST.
+
+Generic linters cannot know that ``comm.allreduce`` must be reached by
+every rank, that values handed out by :mod:`repro.mesh.opcache` are
+shared and must never be written in place, or that the PR-1 vectorized
+kernels must not regrow per-element Python loops.  This module encodes
+those invariants as four rules:
+
+R1  **collective symmetry** — a collective call (``allreduce``,
+    ``allgather``, ``alltoall``, ``barrier``, ``bcast``, ``exscan``,
+    ``gather``, ...) lexically inside an ``if``/``while``/``for`` whose
+    condition (or iterable) derives from ``comm.rank`` or other
+    rank-local data (``recv`` results, ``exscan`` prefixes).  Results
+    of symmetric collectives (``allreduce``, ``allgather``, ``bcast``)
+    are replicated on every rank, so branching on them is fine and does
+    not propagate taint.
+
+R2  **cache purity** — attribute writes, element writes (``x[...] =``),
+    in-place operators (``x += ...``), and mutating ufunc calls
+    (``np.add.at(x, ...)``, ``out=x``) applied to names bound from
+    ``operator_cache(...)`` / ``*cache*.get(...)`` or from the known
+    memoized mesh getters (``element_sizes``, ``element_centers``).
+    ``x.copy()`` launders the value; a plain alias or ``np.asarray``
+    does not.
+
+R3  **dtype discipline** (hot packages ``fem/``, ``solvers/``,
+    ``mangll/`` only) — ``np.array`` / ``np.zeros`` / ``np.empty``
+    without an explicit ``dtype``, and float32/float64 mixing through a
+    literal-typed accumulator (``acc = 0.0`` then ``acc += f32_data``).
+
+R4  **hot-loop hygiene** (modules PR 1 vectorized: ``assembly``,
+    ``amg``, ``dg``, ``transfer``) — per-element Python ``for`` loops
+    (``range(...)`` over a non-trivial bound, or ``enumerate(...)``)
+    unless the line carries ``# lint: allow-loop``.
+
+Suppression and baselining
+--------------------------
+``# lint: disable=R1`` (comma-separated rule ids) on the flagged line
+suppresses a finding; ``# lint: allow-loop`` on the ``for`` line or the
+line above suppresses R4.  Grandfathered findings live in a baseline
+file (``lint_baseline.json`` at the repo root); a finding matches the
+baseline by ``(file, rule, normalized source line)`` so it survives
+unrelated line-number drift.  New findings fail the run.
+
+Usage::
+
+    python -m repro.analysis.lint src/                 # auto-loads ./lint_baseline.json
+    python -m repro.analysis.lint src/ --baseline      # require the baseline file
+    python -m repro.analysis.lint src/ --no-baseline   # full finding list
+    python -m repro.analysis.lint src/ --write-baseline
+
+Stdlib-only on purpose: CI lints before installing numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from collections import Counter
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "main",
+    "RULES",
+]
+
+#: rule id -> short description (the catalog; mirrored in DESIGN.md)
+RULES = {
+    "R1": "collective call under rank-dependent control flow",
+    "R2": "in-place mutation of a cached/memoized value",
+    "R3": "missing explicit dtype / float32-float64 mixing in hot path",
+    "R4": "per-element Python loop in a vectorized hot module",
+}
+
+#: methods on a communicator that every rank must call collectively
+COLLECTIVE_OPS = {
+    "allreduce",
+    "allgather",
+    "allgather_concat",
+    "alltoall",
+    "alltoallv_arrays",
+    "barrier",
+    "bcast",
+    "exscan",
+    "gather",
+    "global_offsets",
+}
+
+#: collectives whose *result* is replicated on every rank — branching on
+#: them is symmetric, so they block taint propagation
+SYMMETRIC_OPS = {"allreduce", "allgather", "allgather_concat", "bcast", "barrier"}
+
+#: collective results that are rank-dependent (taint sources)
+RANK_LOCAL_OPS = {"exscan", "gather"}
+
+#: numpy constructors R3 requires an explicit dtype for
+DTYPE_CTORS = {"array", "zeros", "empty"}
+
+#: path fragments where R3 (dtype discipline) is enforced
+R3_PACKAGES = ("fem", "solvers", "mangll")
+
+#: module stems PR 1 vectorized — R4 (hot-loop hygiene) applies here
+R4_MODULES = {"assembly", "amg", "dg", "transfer"}
+
+#: memoized getters on Mesh whose return values are cache-shared
+CACHED_GETTERS = {"element_sizes", "element_centers"}
+
+_SMALL_RANGE = 8  # `for a in range(3)` (components, corners) is not per-element
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9,\s]+)")
+_ALLOW_LOOP_RE = re.compile(r"#\s*lint:\s*allow-loop")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, stable across runs."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: file + rule + normalized source line (no
+        line number, so the baseline survives unrelated edits above)."""
+        return (self.file, self.rule, self.snippet)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# --------------------------------------------------------------------------
+# expression helpers
+
+
+def _is_comm_expr(node: ast.AST) -> bool:
+    """Does this expression look like a communicator? (``comm``,
+    ``self.comm``, ``self._comm``, ``checked_comm``, ...)"""
+    if isinstance(node, ast.Name):
+        return "comm" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "comm" in node.attr.lower()
+    return False
+
+
+def _collective_call(node: ast.Call) -> str | None:
+    """The collective op name if ``node`` is ``<comm-like>.<collective>(...)``."""
+    f = node.func
+    if isinstance(f, ast.Attribute) and f.attr in COLLECTIVE_OPS and _is_comm_expr(f.value):
+        return f.attr
+    return None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """Base ``Name`` id of an attribute/subscript chain (``x[0].y`` -> ``x``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _TaintScan(ast.NodeVisitor):
+    """Does an expression derive from rank-local data?
+
+    Taint sources: ``<anything>.rank``, ``comm.recv(...)`` results,
+    rank-local collective results (``exscan``, ``gather``), and names
+    already in the tainted set.  Subtrees of *symmetric* collective
+    calls are skipped — their results are replicated.
+    """
+
+    def __init__(self, tainted: set[str]):
+        self.tainted = tainted
+        self.found = False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        op = _collective_call(node)
+        if op is not None:
+            if op in RANK_LOCAL_OPS:
+                self.found = True
+            # symmetric collective: replicated result, do not descend
+            return
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr in ("recv", "Get_rank") and _is_comm_expr(f.value):
+            self.found = True
+            return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "rank":
+            self.found = True
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.tainted:
+            self.found = True
+
+
+def _is_tainted(node: ast.AST | None, tainted: set[str]) -> bool:
+    if node is None:
+        return False
+    scan = _TaintScan(tainted)
+    scan.visit(node)
+    return scan.found
+
+
+def _names_in(node: ast.AST, names: set[str]) -> bool:
+    return any(isinstance(n, ast.Name) and n.id in names for n in ast.walk(node))
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            if isinstance(elt, ast.Starred):
+                elt = elt.value
+            out.extend(_target_names(elt))
+        return out
+    return []
+
+
+def _int_literal(node: ast.AST) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(node.value, bool):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and (v := _int_literal(node.operand)) is not None
+    ):
+        return -v
+    return None
+
+
+def _is_float32_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "float32":
+        return True
+    if isinstance(node, ast.Constant) and node.value == "float32":
+        return True
+    return False
+
+
+def _cache_handle_rhs(node: ast.AST) -> bool:
+    """RHS that yields a cache handle: ``operator_cache(mesh)``."""
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id == "operator_cache":
+            return True
+        if isinstance(f, ast.Attribute) and f.attr == "operator_cache":
+            return True
+    return False
+
+
+def _cacheish_expr(node: ast.AST, handles: set[str]) -> bool:
+    """Receiver that is a cache: a handle name, ``*cache*``-named
+    name/attribute, or an inline ``operator_cache(...)`` call."""
+    if isinstance(node, ast.Name):
+        return node.id in handles or "cache" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "cache" in node.attr.lower()
+    if _cache_handle_rhs(node):
+        return True
+    return False
+
+
+def _cached_value_rhs(node: ast.AST, handles: set[str], cached: set[str]) -> bool:
+    """RHS that yields a *cached value* (shared, must not be mutated)."""
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr == "get" and _cacheish_expr(f.value, handles):
+                return True
+            if f.attr in CACHED_GETTERS:
+                return True
+            # np.asarray(x) may alias x; x.view() aliases x
+            if f.attr in ("asarray", "view") and node.args and _names_in(node.args[0], cached):
+                return True
+            if f.attr == "view" and isinstance(f.value, ast.Name) and f.value.id in cached:
+                return True
+        if isinstance(f, ast.Name) and f.id == "asarray" and node.args and _names_in(node.args[0], cached):
+            return True
+        return False
+    # plain alias keeps the cached mark; arithmetic / .copy() launder it
+    if isinstance(node, ast.Name):
+        return node.id in cached
+    return False
+
+
+# --------------------------------------------------------------------------
+# the per-file visitor
+
+
+@dataclass
+class _Scope:
+    """Per-function analysis state (copied into nested functions)."""
+
+    tainted: set[str]
+    handles: set[str]
+    cached: set[str]
+    f32_names: set[str]
+    literal_accums: set[str]
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, lines: list[str]):
+        self.path = path
+        self.lines = lines
+        self.findings: list[Finding] = []
+        norm = path.replace("\\", "/")
+        parts = norm.split("/")
+        self.r3_active = any(p in parts for p in R3_PACKAGES)
+        stem = Path(norm).stem
+        self.r4_active = stem in R4_MODULES
+        # stack of rank-dependent control constructs (kind, line)
+        self._ctrl: list[tuple[str, int]] = []
+        self._scope = _Scope(set(), set(), set(), set(), set())
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                file=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+                snippet=self._snippet(line),
+            )
+        )
+
+    # -- functions get fresh (inherited) state -----------------------------
+
+    def _visit_function(self, node) -> None:
+        outer = self._scope
+        self._scope = _Scope(
+            tainted=set(outer.tainted),
+            handles=set(outer.handles),
+            cached=set(outer.cached),
+            f32_names=set(),
+            literal_accums=set(),
+        )
+        # parameters named like caches are treated as handles
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            if "cache" in arg.arg.lower():
+                self._scope.handles.add(arg.arg)
+        self.generic_visit(node)
+        self._scope = outer
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- R1: control-flow tracking -----------------------------------------
+
+    def _visit_controlled(self, node, test: ast.AST | None, kind: str) -> None:
+        dependent = _is_tainted(test, self._scope.tainted)
+        if dependent:
+            self._ctrl.append((kind, node.lineno))
+        try:
+            self.generic_visit(node)
+        finally:
+            if dependent:
+                self._ctrl.pop()
+
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_controlled(node, node.test, "if")
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_controlled(node, node.test, "while")
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.r4_active:
+            self._check_hot_loop(node)
+        dependent = _is_tainted(node.iter, self._scope.tainted)
+        if dependent:
+            for name in _target_names(node.target):
+                self._scope.tainted.add(name)
+        self._visit_controlled(node, node.iter, "for")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        op = _collective_call(node)
+        if op is not None and self._ctrl:
+            kind, line = self._ctrl[-1]
+            self._emit(
+                node,
+                "R1",
+                f"collective '{op}' inside rank-dependent '{kind}' (line {line}); "
+                "every rank must issue the same collective sequence",
+            )
+        self._check_mutating_call(node)
+        self.generic_visit(node)
+
+    # -- R2: cache purity ---------------------------------------------------
+
+    def _check_mutating_call(self, node: ast.Call) -> None:
+        cached = self._scope.cached
+        f = node.func
+        # np.add.at(x, ...) / np.<ufunc>.at(x, ...)
+        if isinstance(f, ast.Attribute) and f.attr == "at" and node.args:
+            root = _root_name(node.args[0])
+            if root in cached:
+                self._emit(
+                    node,
+                    "R2",
+                    f"mutating ufunc '.at' call on cached value '{root}'",
+                )
+        # any call with out=<cached>
+        for kw in node.keywords:
+            if kw.arg == "out" and (root := _root_name(kw.value)) in cached:
+                self._emit(node, "R2", f"ufunc writes into cached value '{root}' via out=")
+
+    def _check_store(self, target: ast.AST, node: ast.AST, what: str) -> None:
+        cached = self._scope.cached
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root in cached:
+                kind = "element write" if isinstance(target, ast.Subscript) else "attribute write"
+                self._emit(node, "R2", f"{kind} to cached value '{root}' ({what})")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        scope = self._scope
+        for target in node.targets:
+            self._check_store(target, node, "assignment")
+        rhs_taint = _is_tainted(node.value, scope.tainted)
+        is_handle = _cache_handle_rhs(node.value)
+        is_cached = _cached_value_rhs(node.value, scope.handles, scope.cached)
+        is_f32 = self._float32_rhs(node.value)
+        is_literal = isinstance(node.value, ast.Constant) and isinstance(
+            node.value.value, (int, float)
+        ) and not isinstance(node.value.value, bool)
+        for target in node.targets:
+            for name in _target_names(target):
+                scope.tainted.add(name) if rhs_taint else scope.tainted.discard(name)
+                scope.handles.add(name) if is_handle else scope.handles.discard(name)
+                scope.cached.add(name) if is_cached else scope.cached.discard(name)
+                scope.f32_names.add(name) if is_f32 else scope.f32_names.discard(name)
+                if is_literal:
+                    scope.literal_accums.add(name)
+                else:
+                    scope.literal_accums.discard(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store(node.target, node, "assignment")
+            if isinstance(node.target, ast.Name):
+                scope = self._scope
+                name = node.target.id
+                if _is_tainted(node.value, scope.tainted):
+                    scope.tainted.add(name)
+                if _cached_value_rhs(node.value, scope.handles, scope.cached):
+                    scope.cached.add(name)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        scope = self._scope
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in scope.cached:
+            self._emit(node, "R2", f"in-place operator on cached value '{target.id}'")
+        else:
+            self._check_store(target, node, "augmented assignment")
+        if isinstance(target, ast.Name) and _is_tainted(node.value, scope.tainted):
+            scope.tainted.add(target.id)
+        # R3 mixing: float literal accumulator += float32 data
+        if (
+            self.r3_active
+            and isinstance(target, ast.Name)
+            and target.id in scope.literal_accums
+            and _names_in(node.value, scope.f32_names)
+        ):
+            self._emit(
+                node,
+                "R3",
+                f"float64 literal accumulator '{target.id}' mixed with float32 data",
+            )
+        self.generic_visit(node)
+
+    # -- R3: dtype discipline ----------------------------------------------
+
+    def _float32_rhs(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr == "astype" and node.args:
+            return _is_float32_dtype(node.args[0])
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _is_float32_dtype(kw.value):
+                return True
+        return False
+
+    def _check_dtype_ctor(self, node: ast.Call) -> None:
+        f = node.func
+        if not (
+            isinstance(f, ast.Attribute)
+            and f.attr in DTYPE_CTORS
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+        ):
+            return
+        if not any(kw.arg == "dtype" for kw in node.keywords):
+            self._emit(
+                node,
+                "R3",
+                f"np.{f.attr} without explicit dtype in hot path "
+                "(float64 intent must be spelled out)",
+            )
+
+    # -- R4: hot-loop hygiene ----------------------------------------------
+
+    def _check_hot_loop(self, node: ast.For) -> None:
+        it = node.iter
+        if not isinstance(it, ast.Call) or not isinstance(it.func, ast.Name):
+            return
+        if it.func.id == "range":
+            bounds = [_int_literal(a) for a in it.args]
+            if all(b is not None and abs(b) <= _SMALL_RANGE for b in bounds):
+                return  # small constant loop (components, corners, sweeps)
+        elif it.func.id != "enumerate":
+            return
+        self._emit(
+            node,
+            "R4",
+            f"per-element Python '{it.func.id}' loop in vectorized hot module; "
+            "vectorize or mark '# lint: allow-loop'",
+        )
+
+    # dispatch wrapper so R3 ctor checks run on every call expression
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call) and self.r3_active:
+                self._check_dtype_ctor(child)
+            self.visit(child)
+
+
+# --------------------------------------------------------------------------
+# suppression + entry points
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    line = lines[finding.line - 1] if 1 <= finding.line <= len(lines) else ""
+    m = _DISABLE_RE.search(line)
+    if m and finding.rule in {r.strip().upper() for r in m.group(1).split(",")}:
+        return True
+    if finding.rule == "R4":
+        prev = lines[finding.line - 2] if finding.line >= 2 else ""
+        if _ALLOW_LOOP_RE.search(line) or _ALLOW_LOOP_RE.search(prev):
+            return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint python source text; ``path`` controls path-scoped rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="E0",
+                message=f"syntax error: {exc.msg}",
+                snippet="",
+            )
+        ]
+    lines = source.splitlines()
+    linter = _FileLinter(path, lines)
+    linter.visit(tree)
+    out = [f for f in linter.findings if not _suppressed(f, lines)]
+    out.sort(key=lambda f: (f.line, f.col, f.rule))
+    return out
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    p = Path(path)
+    rel = p.as_posix()
+    return lint_source(p.read_text(encoding="utf-8"), rel)
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and directory trees (``*.py``, sorted, deduplicated)."""
+    files: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen: set[Path] = set()
+    findings: list[Finding] = []
+    for f in files:
+        if f in seen:
+            continue
+        seen.add(f)
+        findings.extend(lint_file(f))
+    return findings
+
+
+# -- baseline ---------------------------------------------------------------
+
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Baseline as a multiset of finding fingerprints."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    c: Counter = Counter()
+    for entry in data.get("findings", []):
+        c[(entry["file"], entry["rule"], entry["snippet"])] += entry.get("count", 1)
+    return c
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> None:
+    c = Counter(f.fingerprint() for f in findings)
+    entries = [
+        {"file": file, "rule": rule, "snippet": snippet, "count": n}
+        for (file, rule, snippet), n in sorted(c.items())
+    ]
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis.lint findings. New findings fail; "
+            "regenerate with: python -m repro.analysis.lint src/ --write-baseline"
+        ),
+        "findings": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding], baseline: Counter) -> list[Finding]:
+    """Findings not covered by the baseline multiset."""
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget[fp] > 0:
+            budget[fp] -= 1
+        else:
+            fresh.append(f)
+    return fresh
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="SPMD correctness linter (rules R1-R4) for this repository.",
+    )
+    ap.add_argument("paths", nargs="*", default=["src"], help="files or trees to lint")
+    ap.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=f"require a baseline file (default path: {DEFAULT_BASELINE})",
+    )
+    ap.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help="write current findings as the new baseline and exit 0",
+    )
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    args = ap.parse_args(argv)
+
+    findings = lint_paths(args.paths or ["src"])
+
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    baseline: Counter = Counter()
+    if not args.no_baseline:
+        bl_path = args.baseline or DEFAULT_BASELINE
+        if Path(bl_path).exists():
+            baseline = load_baseline(bl_path)
+        elif args.baseline is not None:
+            print(f"error: baseline file {bl_path!r} not found", file=sys.stderr)
+            return 2
+
+    fresh = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(json.dumps([asdict(f) for f in fresh], indent=2))
+    else:
+        for f in fresh:
+            print(f.render())
+        n_base = len(findings) - len(fresh)
+        print(
+            f"{len(fresh)} new finding(s), {n_base} baselined, "
+            f"{len(findings)} total",
+            file=sys.stderr,
+        )
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

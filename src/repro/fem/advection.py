@@ -107,7 +107,7 @@ class AdvectionDiffusion:
 
         self.dirichlet = dirichlet or []
         self._bc_mask = np.zeros(mesh.n_independent, dtype=bool)
-        self._bc_values = np.zeros(mesh.n_independent)
+        self._bc_values = np.zeros(mesh.n_independent, dtype=np.float64)
         for axis, side, value in self.dirichlet:
 
             def build(axis=axis, side=side):

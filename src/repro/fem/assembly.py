@@ -136,7 +136,7 @@ def assemble_rhs(mesh: Mesh, elem_vecs: np.ndarray, constrain: bool = True) -> n
     """Assemble (ne, 8) element load vectors into a global rhs."""
     if elem_vecs.shape != (mesh.n_elements, 8):
         raise ValueError("element vector array has wrong shape")
-    b = np.zeros(mesh.n_nodes)
+    b = np.zeros(mesh.n_nodes, dtype=np.float64)
     np.add.at(b, mesh.element_nodes.ravel(), elem_vecs.ravel())
     if not constrain:
         return b
@@ -172,7 +172,7 @@ def apply_dirichlet(
     if dofs.dtype == bool:
         dofs = np.flatnonzero(dofs)
     n = A.shape[0]
-    vals = np.zeros(n)
+    vals = np.zeros(n, dtype=np.float64)
     vals[dofs] = values
     if b is not None:
         b = b - A @ vals

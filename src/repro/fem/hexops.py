@@ -32,11 +32,11 @@ import numpy as np
 __all__ = ["ElementOps", "M1_UNIT", "K1_UNIT", "G1"]
 
 #: Unit-interval 1-D mass matrix (multiply by h).
-M1_UNIT = np.array([[2.0, 1.0], [1.0, 2.0]]) / 6.0
+M1_UNIT = np.array([[2.0, 1.0], [1.0, 2.0]], dtype=np.float64) / 6.0
 #: Unit-interval 1-D stiffness matrix (divide by h).
-K1_UNIT = np.array([[1.0, -1.0], [-1.0, 1.0]])
+K1_UNIT = np.array([[1.0, -1.0], [-1.0, 1.0]], dtype=np.float64)
 #: 1-D convection matrix integral N_i N_j' (h-independent).
-G1 = np.array([[-0.5, 0.5], [-0.5, 0.5]])
+G1 = np.array([[-0.5, 0.5], [-0.5, 0.5]], dtype=np.float64)
 
 
 def _kron3(az: np.ndarray, ay: np.ndarray, ax: np.ndarray) -> np.ndarray:
@@ -140,7 +140,7 @@ class ElementOps:
         eta = np.asarray(viscosity, dtype=np.float64)
         n = len(sizes)
         # per-element pure and mixed gradient matrices
-        S = np.empty((3, 3, n, 8, 8))
+        S = np.empty((3, 3, n, 8, 8), dtype=np.float64)
         S[0, 0] = (hy * hz / hx)[:, None, None] * self.Sxx[None]
         S[1, 1] = (hx * hz / hy)[:, None, None] * self.Syy[None]
         S[2, 2] = (hx * hy / hz)[:, None, None] * self.Szz[None]
@@ -151,7 +151,7 @@ class ElementOps:
         S[1, 2] = hx[:, None, None] * self.Syz[None]
         S[2, 1] = np.swapaxes(S[1, 2], 1, 2)
         lap = S[0, 0] + S[1, 1] + S[2, 2]
-        out = np.zeros((n, 24, 24))
+        out = np.zeros((n, 24, 24), dtype=np.float64)
         for a in range(3):
             for b in range(3):
                 blk = S[b, a].copy()
@@ -167,7 +167,7 @@ class ElementOps:
         (pressure row block of the Stokes saddle system)."""
         hx, hy, hz = sizes[:, 0], sizes[:, 1], sizes[:, 2]
         n = len(sizes)
-        out = np.zeros((n, 8, 24))
+        out = np.zeros((n, 8, 24), dtype=np.float64)
         out[:, :, 0:8] = (hy * hz)[:, None, None] * self.Dx[None]
         out[:, :, 8:16] = (hx * hz)[:, None, None] * self.Dy[None]
         out[:, :, 16:24] = (hx * hy)[:, None, None] * self.Dz[None]

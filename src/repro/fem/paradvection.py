@@ -83,7 +83,7 @@ class ParAdvectionDiffusion:
 
         self.dirichlet = dirichlet or []
         self._bc_mask = np.zeros(mesh.n_independent, dtype=bool)
-        self._bc_values = np.zeros(mesh.n_independent)
+        self._bc_values = np.zeros(mesh.n_independent, dtype=np.float64)
         for axis, side, value in self.dirichlet:
             nodes = mesh.boundary_node_mask(axis=axis, side=side)
             dofs = mesh.dof_of_node[np.flatnonzero(nodes)]
@@ -108,7 +108,7 @@ class ParAdvectionDiffusion:
     def _rhs_owned(self, elem_vecs: np.ndarray) -> np.ndarray:
         mesh = self.pm.mesh
         en = mesh.element_nodes[self.pm.owned_elements]
-        b = np.zeros(mesh.n_nodes)
+        b = np.zeros(mesh.n_nodes, dtype=np.float64)
         np.add.at(b, en.ravel(), elem_vecs.ravel())
         return mesh.Z.T @ b
 
@@ -134,8 +134,8 @@ class ParAdvectionDiffusion:
         return r
 
     def cfl_dt(self, cfl: float = 0.5) -> float:
-        h = self._owned_sizes.min(axis=1) if len(self._owned_sizes) else np.array([np.inf])
-        speed = np.linalg.norm(self._owned_vel, axis=1) if len(self._owned_vel) else np.array([0.0])
+        h = self._owned_sizes.min(axis=1) if len(self._owned_sizes) else np.array([np.inf], dtype=np.float64)
+        speed = np.linalg.norm(self._owned_vel, axis=1) if len(self._owned_vel) else np.array([0.0], dtype=np.float64)
         adv = np.where(speed > 0, h / np.maximum(speed, 1e-300), np.inf)
         diff = h**2 / (6.0 * self.kappa) if self.kappa > 0 else np.full_like(h, np.inf)
         local = float(np.minimum(adv, diff).min()) if len(h) else np.inf

@@ -90,7 +90,7 @@ class StokesSystem:
         )
 
         # consistent body-force load
-        self.f = np.zeros(3 * n)
+        self.f = np.zeros(3 * n, dtype=np.float64)
         if body_force is not None:
             bf = np.asarray(body_force, dtype=np.float64)
             if bf.shape != (mesh.n_nodes, 3):
@@ -158,7 +158,7 @@ class StokesSystem:
         return out
 
     def rhs(self) -> np.ndarray:
-        b = np.zeros(self.n_dof)
+        b = np.zeros(self.n_dof, dtype=np.float64)
         b[: self.n_u] = self.f
         return b
 

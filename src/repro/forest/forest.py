@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..octree import LinearOctree, OctantArray, ROOT_LEN, morton_encode
+from ..octree import LinearOctree, ROOT_LEN
 from ..octree.balance import _violating_leaf_marks
 from ..octree.octants import directions_for
 from .connectivity import Connectivity

@@ -118,7 +118,7 @@ class DGAdvection:
         self.n = n
         self.n3 = n**3
         self.n2 = n**2
-        self.inflow = inflow or (lambda x: np.zeros(len(x)))
+        self.inflow = inflow or (lambda x: np.zeros(len(x), dtype=np.float64))
 
         # flatten elements
         self.tree_ids = forest.leaf_tree_ids()
@@ -155,8 +155,8 @@ class DGAdvection:
         ref_all = np.tile(ref, (ne, 1))
         tree_coords = self._leaf_tree_coords(eids, ref_all) / ROOT_LEN  # in [0,1]
         # physical nodes + tree Jacobians, tree by tree
-        self.x = np.empty((ne * n3, 3))
-        Jtree = np.empty((ne * n3, 3, 3))
+        self.x = np.empty((ne * n3, 3), dtype=np.float64)
+        Jtree = np.empty((ne * n3, 3, 3), dtype=np.float64)
         tids_pernode = np.repeat(self.tree_ids, n3)
         for t in np.unique(self.tree_ids):
             sel = tids_pernode == t
@@ -189,7 +189,7 @@ class DGAdvection:
         axis, side = _FACE_AXIS_SIDE[f]
         tid = self.tree_ids[e]
         h = int(self.octs.lengths()[e])
-        anchor = np.array([self.octs.x[e], self.octs.y[e], self.octs.z[e]])
+        anchor = np.array([self.octs.x[e], self.octs.y[e], self.octs.z[e]], dtype=np.int64)
         lvl = int(self.octs.level[e])
         d = np.zeros(3, dtype=np.int64)
         d[axis] = 1 if side else -1
@@ -247,7 +247,7 @@ class DGAdvection:
         g = self.kern.nodes
         t1, t2 = [a2 for a2 in range(3) if a2 != axis]
         S2, S1 = np.meshgrid(g, g, indexing="ij")  # t2 slower, t1 faster
-        ref = np.empty((self.n2, 3))
+        ref = np.empty((self.n2, 3), dtype=np.float64)
         ref[:, axis] = 1.0 if side else -1.0
         ref[:, t1] = S1.ravel()
         ref[:, t2] = S2.ravel()
@@ -277,7 +277,7 @@ class DGAdvection:
         J = Jt * hfrac
         detJ = np.linalg.det(J)
         Jinv = np.linalg.inv(J)
-        nref = np.zeros(3)
+        nref = np.zeros(3, dtype=np.float64)
         nref[axis] = 1.0 if side else -1.0
         nvec = np.einsum("mkd,k->md", Jinv, nref) * detJ[:, None]
         sj = np.linalg.norm(nvec, axis=1)
@@ -290,7 +290,7 @@ class DGAdvection:
         if self.batch_faces:
             self._build_faces_batched(velocity, interior, bdry)
         else:
-            for e in range(self.ne):
+            for e in range(self.ne):  # lint: allow-loop (pre-vectorization path)
                 for f in range(6):
                     self._build_face_single(e, f, velocity, interior, bdry)
         self._finalize_faces(interior, bdry)
@@ -315,7 +315,7 @@ class DGAdvection:
             bdry["wsj"].append((w2 * sj)[None])
             bdry["an"].append(an[None])
             bdry["uin"].append(np.asarray(self.inflow(xq))[None])
-            bdry["key"].append(np.array([e * 6 + f]))
+            bdry["key"].append(np.array([e * 6 + f], dtype=np.int64))
             return
         for ge, driver in info:
             tid_nb = int(self.tree_ids[ge])
@@ -347,7 +347,7 @@ class DGAdvection:
             interior["wsj"].append((w2 * sj)[None])
             interior["an"].append(an[None])
             interior["xq"].append(xq[None])
-            interior["key"].append(np.array([e * 6 + f]))
+            interior["key"].append(np.array([e * 6 + f], dtype=np.int64))
 
     # -- batched face construction -------------------------------------------
 
@@ -358,7 +358,7 @@ class DGAdvection:
         g = self.kern.nodes
         t1, t2 = [a2 for a2 in range(3) if a2 != axis]
         S2, S1 = np.meshgrid(g, g, indexing="ij")
-        ref = np.empty((self.n2, 3))
+        ref = np.empty((self.n2, 3), dtype=np.float64)
         ref[:, axis] = 1.0 if side else -1.0
         ref[:, t1] = S1.ravel()
         ref[:, t2] = S2.ravel()
@@ -372,7 +372,7 @@ class DGAdvection:
         n2 = self.n2
         ref01 = (quad / ROOT_LEN).reshape(m * n2, 3)
         tpt = np.repeat(self.tree_ids[E], n2)
-        Jt = np.empty((m * n2, 3, 3))
+        Jt = np.empty((m * n2, 3, 3), dtype=np.float64)
         for t in np.unique(tpt):
             s = tpt == t
             Jt[s] = self.conn.tree_map_jacobian(int(t), ref01[s])
@@ -382,7 +382,7 @@ class DGAdvection:
         J = Jt * hfrac[:, None, None]
         detJ = np.linalg.det(J)
         Jinv = np.linalg.inv(J)
-        nref = np.zeros(3)
+        nref = np.zeros(3, dtype=np.float64)
         nref[axis] = 1.0 if side else -1.0
         nvec = np.einsum("mkd,k->md", Jinv, nref) * detJ[:, None]
         sj = np.linalg.norm(nvec, axis=1)
@@ -394,7 +394,7 @@ class DGAdvection:
         m, n2 = quad.shape[0], self.n2
         pts = (quad / ROOT_LEN).reshape(m * n2, 3)
         tpt = np.repeat(self.tree_ids[E], n2)
-        out = np.empty((m * n2, 3))
+        out = np.empty((m * n2, 3), dtype=np.float64)
         for t in np.unique(tpt):
             s = tpt == t
             out[s] = self.conn.tree_map(int(t), pts[s])

@@ -28,9 +28,9 @@ def lgl_nodes(p: int) -> tuple[np.ndarray, np.ndarray]:
     if p < 1:
         raise ValueError("order must be >= 1")
     if p == 1:
-        return np.array([-1.0, 1.0]), np.array([1.0, 1.0])
+        return np.array([-1.0, 1.0], dtype=np.float64), np.array([1.0, 1.0], dtype=np.float64)
     # interior nodes: roots of P'_p
-    cp = np.zeros(p + 1)
+    cp = np.zeros(p + 1, dtype=np.float64)
     cp[p] = 1.0
     dcp = npleg.legder(cp)
     interior = npleg.legroots(dcp)
@@ -71,7 +71,7 @@ def diff_matrix(nodes: np.ndarray) -> np.ndarray:
         for k in range(n):
             if k != j:
                 w[j] /= x[j] - x[k]
-    D = np.zeros((n, n))
+    D = np.zeros((n, n), dtype=np.float64)
     for i in range(n):
         for j in range(n):
             if i != j:

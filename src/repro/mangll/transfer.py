@@ -57,7 +57,7 @@ def dg_transfer(dg_old, u_old: np.ndarray, dg_new) -> np.ndarray:
     n = kern.n
     n3 = dg_new.n3
     u_old = np.asarray(u_old, dtype=np.float64).reshape(dg_old.ne, dg_old.n3)
-    out = np.empty((dg_new.ne, n3))
+    out = np.empty((dg_new.ne, n3), dtype=np.float64)
     g = kern.nodes
 
     a2 = np.stack(

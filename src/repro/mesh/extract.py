@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from ..octree import LinearOctree, ROOT_LEN
+from ..octree import ROOT_LEN
 from ..octree.linear import LinearOctree as _LinearOctree
 from .opcache import operator_cache
 

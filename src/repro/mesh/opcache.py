@@ -22,6 +22,7 @@ comparisons without touching any call sites.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -40,6 +41,18 @@ __all__ = [
 ]
 
 _ENABLED = True
+
+
+def _sanitizing() -> bool:
+    """Mutation guards active?  (env check inlined so the common path
+    pays no import; the guard module loads lazily on first use)"""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def _guard():
+    from ..analysis import sanitize
+
+    return sanitize
 
 
 @dataclass
@@ -94,12 +107,19 @@ class MeshOperatorCache:
     store: dict = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    #: blake2b fingerprints taken at store time under REPRO_SANITIZE=1;
+    #: verified on every hit to detect in-place mutation of cached state
+    tokens: dict = field(default_factory=dict)
 
     def get(self, key, builder):
         """Return the cached value for ``key``, building it on a miss.
 
         When caching is globally disabled the builder runs every time and
         nothing is stored, so repeated calls exercise identical code.
+        Under ``REPRO_SANITIZE=1`` every hit re-verifies the value's
+        content fingerprint and raises
+        :class:`repro.analysis.sanitize.CacheMutationError` if the
+        memoized value was written in place since it was stored.
         """
         if not _ENABLED:
             _STATS.bypasses += 1
@@ -111,13 +131,23 @@ class MeshOperatorCache:
             _STATS.misses += 1
             value = builder()
             self.store[key] = value
+            if _sanitizing():
+                self.tokens[key] = _guard().freeze(value)
             return value
         self.hits += 1
         _STATS.hits += 1
+        if _sanitizing():
+            token = self.tokens.get(key)
+            if token is None:
+                # cached before sanitizing was switched on: adopt now
+                self.tokens[key] = _guard().freeze(value)
+            else:
+                _guard().verify_frozen(value, token, context=f"opcache[{key!r}]")
         return value
 
     def clear(self) -> None:
         self.store.clear()
+        self.tokens.clear()
 
 
 def operator_cache(mesh) -> MeshOperatorCache:
@@ -156,9 +186,22 @@ class CachedScatter:
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self.indices = c[self.starts].astype(np.int64)
         self.shape = shape
+        self._token = (
+            _guard().freeze(self._pattern_arrays()) if _sanitizing() else None
+        )
+
+    def _pattern_arrays(self) -> list[np.ndarray]:
+        return [self.order, self.starts, self.indptr, self.indices]
 
     def assemble(self, data: np.ndarray) -> sp.csr_matrix:
         """CSR matrix with the cached structure and summed ``data``."""
+        if _sanitizing():
+            if self._token is None:
+                self._token = _guard().freeze(self._pattern_arrays())
+            else:
+                _guard().verify_frozen(
+                    self._pattern_arrays(), self._token, context="CachedScatter pattern"
+                )
         d = np.add.reduceat(np.asarray(data).ravel()[self.order], self.starts)
         A = sp.csr_matrix(
             (d, self.indices, self.indptr), shape=self.shape, copy=False

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..parallel import SimComm
 from .linear import LinearOctree
-from .morton import MAX_LEVEL, key_range_size, morton_encode
+from .morton import MAX_LEVEL, morton_encode
 from .octants import OctantArray, directions_for
 
 __all__ = [

@@ -29,6 +29,7 @@ so no thread hangs) and are re-raised in the caller.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from typing import Any, Callable
@@ -37,17 +38,44 @@ import numpy as np
 
 from .stats import CommStats, payload_nbytes
 
-__all__ = ["SimComm", "SimWorld", "run_spmd", "SpmdAbort"]
+__all__ = [
+    "SimComm",
+    "SimWorld",
+    "run_spmd",
+    "SpmdAbort",
+    "set_comm_factory",
+    "get_comm_factory",
+]
 
 
 class SpmdAbort(RuntimeError):
     """Raised in surviving ranks when another rank failed."""
 
 
+def _reduce_extremum(vals, ufunc, pyfunc):
+    """Min/max over mixed scalar/ndarray contributions.
+
+    Contributions are normalized *before* dispatching: if any rank sent
+    an ndarray the reduction is elementwise with scalars broadcast
+    (what MPI's ``MPI_MIN``/``MPI_MAX`` do for matching buffers), and
+    the result never aliases a contribution.  Dispatching on ``vals[0]``
+    alone — the old behavior — took the scalar branch whenever rank 0
+    happened to contribute a scalar, and ``min``/``max`` over a list
+    containing an ndarray then raised or silently compared garbage.
+    """
+    if any(isinstance(v, np.ndarray) for v in vals):
+        out = vals[0]
+        out = out.copy() if isinstance(out, np.ndarray) else out
+        for v in vals[1:]:
+            out = ufunc(out, v)
+        return out if isinstance(out, np.ndarray) else np.asarray(out)
+    return pyfunc(vals)
+
+
 _REDUCTIONS: dict[str, Callable] = {
     "sum": lambda vals: _tree_sum(vals),
-    "min": lambda vals: min(vals) if not isinstance(vals[0], np.ndarray) else np.minimum.reduce(vals),
-    "max": lambda vals: max(vals) if not isinstance(vals[0], np.ndarray) else np.maximum.reduce(vals),
+    "min": lambda vals: _reduce_extremum(vals, np.minimum, min),
+    "max": lambda vals: _reduce_extremum(vals, np.maximum, max),
     "prod": lambda vals: _tree_prod(vals),
     "lor": lambda vals: any(vals),
     "land": lambda vals: all(vals),
@@ -68,9 +96,33 @@ def _tree_sum(vals):
 
 def _tree_prod(vals):
     out = vals[0]
+    if isinstance(out, np.ndarray):
+        out = out.copy()
     for v in vals[1:]:
         out = out * v
     return out
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Defensive copy of the numpy content of a message payload.
+
+    Real MPI always lands data in a receive buffer owned by the
+    receiving rank; the in-process transport hands every rank the *same*
+    object, so without a copy two simulated ranks can alias (and
+    corrupt through) one buffer — a divergence from MPI semantics that
+    would also mask genuine mutation bugs from the cache sanitizer.
+    Arrays are copied; containers are rebuilt around copied arrays;
+    scalars and opaque objects pass through.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
 
 
 class SimWorld:
@@ -141,7 +193,10 @@ class SimComm:
                     raise SpmdAbort("another rank aborted")
                 q = w._mail.get(key)
                 if q:
-                    return q.popleft()
+                    # defensive copy: the sender may still hold (and later
+                    # mutate) the posted object; real MPI hands the receiver
+                    # its own buffer
+                    return _copy_payload(q.popleft())
                 w._mail_lock.wait(timeout=0.2)
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
@@ -168,21 +223,25 @@ class SimComm:
         return result
 
     def allgather(self, obj: Any) -> list[Any]:
-        """Gather one object from every rank, returned in rank order."""
+        """Gather one object from every rank, returned in rank order.
+
+        Numpy content is defensively copied: every rank receives its own
+        buffers (as with real MPI), never views shared with other ranks.
+        """
         self.stats.record_collective("allgather", payload_nbytes(obj))
-        return self._exchange(obj)
+        return [_copy_payload(v) for v in self._exchange(obj)]
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self.stats.record_collective("gather", payload_nbytes(obj))
         vals = self._exchange(obj)
-        return vals if self.rank == root else None
+        return [_copy_payload(v) for v in vals] if self.rank == root else None
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self.stats.record_collective(
             "bcast", payload_nbytes(obj) if self.rank == root else 0
         )
         vals = self._exchange(obj if self.rank == root else None)
-        return vals[root]
+        return _copy_payload(vals[root])
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Reduce ``value`` across ranks with ``op`` and return the result.
@@ -227,7 +286,7 @@ class SimComm:
             )
         self.stats.record_collective("alltoall", payload_nbytes(sendlist))
         mat = self._exchange(sendlist)
-        return [mat[i][self.rank] for i in range(self.size)]
+        return [_copy_payload(mat[i][self.rank]) for i in range(self.size)]
 
     def alltoallv_arrays(self, parts: list[np.ndarray]) -> list[np.ndarray]:
         """Alltoall specialised to lists of NumPy arrays (ALPS's main
@@ -248,6 +307,44 @@ class SimComm:
         counts = self.allgather(int(local_count))
         return sum(counts[: self.rank]), sum(counts)
 
+    def _finalize(self) -> None:
+        """Hook called by :func:`run_spmd` after the rank function returns
+        (normally or not).  Subclasses flush buffered state here (the
+        sanitizer's delivery fuzzer drains held messages)."""
+
+
+# -- communicator factory hook ----------------------------------------------
+
+#: when set, :func:`run_spmd` builds communicators through this factory
+#: instead of :class:`SimComm` — the substitution point for
+#: :class:`repro.analysis.sanitize.CheckedComm`
+_COMM_FACTORY: Callable[[SimWorld, int], SimComm] | None = None
+
+
+def set_comm_factory(factory: Callable[[SimWorld, int], SimComm] | None) -> None:
+    """Install (or clear, with ``None``) the communicator factory used by
+    :func:`run_spmd`.  ``factory(world, rank)`` must return a
+    :class:`SimComm` (or subclass) bound to that rank."""
+    global _COMM_FACTORY
+    _COMM_FACTORY = factory
+
+
+def get_comm_factory() -> Callable[[SimWorld, int], SimComm] | None:
+    return _COMM_FACTORY
+
+
+def _build_comms(world: SimWorld) -> list[SimComm]:
+    factory = _COMM_FACTORY
+    if factory is None and os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+        # sanitized mode requested via environment: substitute CheckedComm
+        # (lazy import; repro.analysis.sanitize imports this module)
+        from ..analysis.sanitize import CheckedComm
+
+        factory = CheckedComm
+    if factory is None:
+        factory = SimComm
+    return [factory(world, r) for r in range(world.nranks)]
+
 
 def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -259,15 +356,21 @@ def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
     heavily by tests).
     """
     world = SimWorld(nranks)
-    comms = [SimComm(world, r) for r in range(nranks)]
+    comms = _build_comms(world)
     if nranks == 1:
-        return [fn(comms[0], *args, **kwargs)]
+        try:
+            return [fn(comms[0], *args, **kwargs)]
+        finally:
+            comms[0]._finalize()
 
     results: list[Any] = [None] * nranks
 
     def runner(r: int) -> None:
         try:
-            results[r] = fn(comms[r], *args, **kwargs)
+            try:
+                results[r] = fn(comms[r], *args, **kwargs)
+            finally:
+                comms[r]._finalize()
         except SpmdAbort:
             pass
         except BaseException as exc:  # noqa: BLE001 - propagate to caller
@@ -290,15 +393,21 @@ def run_spmd_with_comms(nranks: int, fn: Callable, *args, **kwargs):
     """Like :func:`run_spmd` but also returns the communicators (for their
     post-run ``stats``)."""
     world = SimWorld(nranks)
-    comms = [SimComm(world, r) for r in range(nranks)]
+    comms = _build_comms(world)
     if nranks == 1:
-        return [fn(comms[0], *args, **kwargs)], comms
+        try:
+            return [fn(comms[0], *args, **kwargs)], comms
+        finally:
+            comms[0]._finalize()
 
     results: list[Any] = [None] * nranks
 
     def runner(r: int) -> None:
         try:
-            results[r] = fn(comms[r], *args, **kwargs)
+            try:
+                results[r] = fn(comms[r], *args, **kwargs)
+            finally:
+                comms[r]._finalize()
         except SpmdAbort:
             pass
         except BaseException as exc:  # noqa: BLE001

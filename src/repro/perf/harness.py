@@ -16,10 +16,7 @@ communication, not on their absolute values.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
-
-import numpy as np
 
 from ..amr import ParAmrPipeline, RotatingFrontWorkload
 from ..parallel import RANGER, CommStats, MachineModel, run_spmd_with_comms

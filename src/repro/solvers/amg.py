@@ -102,7 +102,7 @@ def aggregate_reference(S: sp.csr_matrix) -> tuple[np.ndarray, int]:
     indptr, indices = S.indptr, S.indices
     n_agg = 0
     # pass 1: roots whose whole strong neighborhood is free
-    for i in range(n):
+    for i in range(n):  # lint: allow-loop (sequential reference impl)
         if agg[i] >= 0:
             continue
         nbrs = indices[indptr[i] : indptr[i + 1]]
@@ -232,7 +232,7 @@ def _estimate_rho(DinvA: sp.csr_matrix, iters: int = 12, seed: int = 0) -> float
     x = rng.standard_normal(DinvA.shape[0])
     x /= np.linalg.norm(x)
     rho = 1.0
-    for _ in range(iters):
+    for _ in range(iters):  # lint: allow-loop (power iteration)
         y = DinvA @ x
         ny = np.linalg.norm(y)
         if ny == 0:
@@ -347,7 +347,7 @@ class SmoothedAggregationAMG:
     # -- cycle ------------------------------------------------------------------
 
     def _smooth_forward(self, lvl: AMGLevel, x: np.ndarray, b: np.ndarray) -> np.ndarray:
-        for _ in range(self.presmooth):
+        for _ in range(self.presmooth):  # lint: allow-loop (sweep count)
             r = b - lvl.A @ x
             if lvl.Lsolve is not None:
                 x = x + lvl.Lsolve(r)
@@ -356,7 +356,7 @@ class SmoothedAggregationAMG:
         return x
 
     def _smooth_backward(self, lvl: AMGLevel, x: np.ndarray, b: np.ndarray) -> np.ndarray:
-        for _ in range(self.postsmooth):
+        for _ in range(self.postsmooth):  # lint: allow-loop (sweep count)
             r = b - lvl.A @ x
             if lvl.Usolve is not None:
                 x = x + lvl.Usolve(r)
@@ -388,7 +388,7 @@ class SmoothedAggregationAMG:
         nb = np.linalg.norm(b)
         if nb == 0:
             return x, 0, True
-        for it in range(1, maxiter + 1):
+        for it in range(1, maxiter + 1):  # lint: allow-loop (solver iteration)
             r = b - self.levels[0].A @ x
             if np.linalg.norm(r) <= tol * nb:
                 return x, it - 1, True

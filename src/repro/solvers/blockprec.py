@@ -97,8 +97,20 @@ class LaggedStokesPreconditioner:
         self._mesh = None
         self._bc_kind = None
         self._eta_ref: np.ndarray | None = None
+        #: fingerprint of the lagged state (AMG level matrices + eta
+        #: reference), taken at build under REPRO_SANITIZE=1 and verified
+        #: before every reuse — in-place mutation of the memoized
+        #: hierarchy would silently break the lagging premise
+        self._frozen_token: str | None = None
         self.n_builds = 0
         self.n_reuses = 0
+
+    def _frozen_state(self) -> list:
+        assert self._prec is not None
+        return [
+            [[lvl.A, lvl.P, lvl.L, lvl.U] for lvl in amg.levels]
+            for amg in self._prec.amg
+        ] + [self._eta_ref]
 
     def drift(self, eta: np.ndarray) -> float:
         """Relative max-norm viscosity drift since the last AMG build."""
@@ -118,6 +130,14 @@ class LaggedStokesPreconditioner:
         )
         if reusable:
             self.n_reuses += 1
+            if self._frozen_token is not None:
+                from ..analysis.sanitize import maybe_verify
+
+                maybe_verify(
+                    self._frozen_state(),
+                    self._frozen_token,
+                    context="LaggedStokesPreconditioner AMG hierarchy",
+                )
             self._prec.refresh_schur(stokes)
         else:
             self.n_builds += 1
@@ -127,9 +147,13 @@ class LaggedStokesPreconditioner:
             self._mesh = stokes.mesh
             self._bc_kind = stokes.bc_kind
             self._eta_ref = eta.copy()
+            from ..analysis.sanitize import maybe_freeze
+
+            self._frozen_token = maybe_freeze(self._frozen_state())
         return self._prec
 
     def invalidate(self) -> None:
         self._prec = None
         self._mesh = None
         self._eta_ref = None
+        self._frozen_token = None

@@ -54,7 +54,7 @@ def cg(
     apply_A = _as_op(A)
     apply_M = M if M is not None else (lambda r: r)
     n = len(b)
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
     maxiter = maxiter if maxiter is not None else 10 * n
 
     r = b - apply_A(x)

@@ -67,7 +67,7 @@ def minres(
     apply_A = _as_op(A)
     apply_M = M if M is not None else (lambda r: r)
     n = len(b)
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
     maxiter = maxiter if maxiter is not None else 5 * n
 
     warm = x0 is not None and np.any(x)
@@ -101,8 +101,8 @@ def minres(
     phibar = beta1
     cs = -1.0
     sn = 0.0
-    w = np.zeros(n)
-    w2 = np.zeros(n)
+    w = np.zeros(n, dtype=np.float64)
+    w2 = np.zeros(n, dtype=np.float64)
     r2 = r1
 
     converged = False

@@ -39,7 +39,8 @@ class LowStorageRK45:
             -2404267990393.0 / 2016746695238.0,
             -3550918686646.0 / 2091501179385.0,
             -1275806237668.0 / 842570457699.0,
-        ]
+        ],
+        dtype=np.float64,
     )
     B = np.array(
         [
@@ -48,7 +49,8 @@ class LowStorageRK45:
             1720146321549.0 / 2090206949498.0,
             3134564353537.0 / 4481467310338.0,
             2277821191437.0 / 14882151754819.0,
-        ]
+        ],
+        dtype=np.float64,
     )
     C = np.array(
         [
@@ -57,7 +59,8 @@ class LowStorageRK45:
             2526269341429.0 / 6820363962896.0,
             2006345519317.0 / 3224310063776.0,
             2802321613138.0 / 2924317926251.0,
-        ]
+        ],
+        dtype=np.float64,
     )
 
     def step(

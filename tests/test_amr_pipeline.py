@@ -6,7 +6,6 @@ import pytest
 
 from repro.amr import (
     ParAmrPipeline,
-    RotatingFrontWorkload,
     adapt_mesh,
     mark_elements,
     rotating_velocity,
@@ -14,7 +13,7 @@ from repro.amr import (
 from repro.fem import AdvectionDiffusion, ParAdvectionDiffusion
 from repro.mesh import extract_mesh
 from repro.mesh.parmesh import extract_parmesh
-from repro.octree import LinearOctree, balance, balance_tree, new_tree, partition_tree, refine_tree
+from repro.octree import LinearOctree, balance, balance_tree, new_tree, partition_tree
 from repro.parallel import run_spmd
 
 

@@ -1,0 +1,460 @@
+"""Unit tests for the SPMD correctness linter (repro.analysis.lint).
+
+Every rule R1-R4 is pinned with true-positive fixtures (the defect
+MUST be flagged) and false-positive fixtures (legitimate idioms that
+MUST NOT be flagged), plus the suppression and baseline workflows.
+"""
+
+import json
+import textwrap
+
+from repro.analysis.lint import (
+    Finding,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+HOT = "src/repro/fem/fixture.py"  # R3 active (fem/)
+HOT_LOOP = "src/repro/fem/assembly.py"  # R4 active (vectorized module stem)
+COLD = "src/repro/octree/fixture.py"  # R3/R4 inactive
+
+
+def rules(src: str, path: str = COLD) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(src), path)]
+
+
+def findings(src: str, path: str = COLD) -> list[Finding]:
+    return lint_source(textwrap.dedent(src), path)
+
+
+# --------------------------------------------------------------------------
+# R1: collective symmetry
+
+
+class TestR1TruePositives:
+    def test_collective_under_rank_if(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()
+        """
+        assert rules(src) == ["R1"]
+
+    def test_collective_in_rank_derived_for(self):
+        src = """
+        def f(comm):
+            r = comm.rank * 2
+            for i in range(r):
+                comm.allreduce(i)
+        """
+        assert rules(src) == ["R1"]
+
+    def test_collective_under_exscan_while(self):
+        src = """
+        def f(comm, n):
+            off = comm.exscan(n)
+            while off > 0:
+                comm.allgather(off)
+                off -= 1
+        """
+        assert rules(src) == ["R1"]
+
+    def test_collective_under_recv_derived_branch(self):
+        src = """
+        def f(comm):
+            data = comm.recv(0)
+            if len(data) > 0:
+                total = comm.allreduce(data.sum())
+        """
+        assert rules(src) == ["R1"]
+
+    def test_finding_names_op_and_control_line(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.bcast(1)
+        """
+        (f,) = findings(src)
+        assert f.rule == "R1"
+        assert "bcast" in f.message
+        assert "'if'" in f.message
+
+
+class TestR1FalsePositives:
+    def test_unconditional_collective(self):
+        src = """
+        def f(comm, x):
+            comm.barrier()
+            return comm.allreduce(x)
+        """
+        assert rules(src) == []
+
+    def test_branch_on_symmetric_allreduce_result(self):
+        # allreduce results are replicated on every rank: branching on
+        # them keeps the collective sequence symmetric
+        src = """
+        def f(comm, local_err):
+            err = comm.allreduce(local_err, "max")
+            if err > 1e-6:
+                comm.barrier()
+        """
+        assert rules(src) == []
+
+    def test_rank_branch_without_collective(self):
+        src = """
+        def f(comm, msg):
+            if comm.rank == 0:
+                print(msg)
+        """
+        assert rules(src) == []
+
+    def test_rank_ternary_inside_collective_arg(self):
+        # the SimComm idiom itself: every rank still calls bcast
+        src = """
+        def f(comm, obj, root):
+            return comm.bcast(obj if comm.rank == root else None)
+        """
+        assert rules(src) == []
+
+    def test_branch_on_replicated_config(self):
+        src = """
+        def f(comm, cfg):
+            if cfg.verbose:
+                comm.barrier()
+        """
+        assert rules(src) == []
+
+
+# --------------------------------------------------------------------------
+# R2: cache purity
+
+
+class TestR2TruePositives:
+    def test_inplace_op_on_cached_get(self):
+        src = """
+        def f(mesh, build):
+            sizes = operator_cache(mesh).get("element_sizes", build)
+            sizes *= 2.0
+        """
+        assert rules(src) == ["R2"]
+
+    def test_element_write_through_cache_handle(self):
+        src = """
+        def f(mesh, build):
+            cache = operator_cache(mesh)
+            Z = cache.get("Z", build)
+            Z[0] = 1.0
+        """
+        assert rules(src) == ["R2"]
+
+    def test_mutating_ufunc_on_cached_getter(self):
+        src = """
+        import numpy as np
+        def f(mesh, idx):
+            c = mesh.element_centers()
+            np.add.at(c, idx, 1.0)
+        """
+        assert rules(src) == ["R2"]
+
+    def test_out_kwarg_targets_cached_value(self):
+        src = """
+        import numpy as np
+        def f(mesh, build):
+            v = operator_cache(mesh).get("v", build)
+            np.multiply(v, 2.0, out=v)
+        """
+        assert rules(src) == ["R2"]
+
+    def test_attribute_write_on_cached_object(self):
+        src = """
+        def f(mesh, build):
+            sc = operator_cache(mesh).get("scatter", build)
+            sc.indices = None
+        """
+        assert rules(src) == ["R2"]
+
+
+class TestR2FalsePositives:
+    def test_copy_launders_cached_value(self):
+        src = """
+        def f(mesh, build):
+            sizes = operator_cache(mesh).get("element_sizes", build)
+            mine = sizes.copy()
+            mine *= 2.0
+        """
+        assert rules(src) == []
+
+    def test_arithmetic_produces_fresh_array(self):
+        src = """
+        def f(mesh, build):
+            sizes = operator_cache(mesh).get("element_sizes", build)
+            scaled = sizes * 2.0
+            scaled += 1.0
+        """
+        assert rules(src) == []
+
+    def test_reads_of_cached_value(self):
+        src = """
+        def f(mesh, build):
+            sizes = operator_cache(mesh).get("element_sizes", build)
+            total = sizes.sum() + sizes[0]
+            return total
+        """
+        assert rules(src) == []
+
+    def test_mutating_uncached_array_is_fine(self):
+        src = """
+        import numpy as np
+        def f(n):
+            a = np.zeros(n, dtype=np.float64)
+            a[0] = 1.0
+            a += 2.0
+            np.add.at(a, [0], 1.0)
+        """
+        assert rules(src) == []
+
+    def test_rebinding_to_copy_then_mutating(self):
+        src = """
+        def f(mesh, build):
+            v = operator_cache(mesh).get("v", build)
+            v = v.copy()
+            v[0] = 3.0
+        """
+        assert rules(src) == []
+
+
+# --------------------------------------------------------------------------
+# R3: dtype discipline
+
+
+class TestR3TruePositives:
+    def test_zeros_without_dtype(self):
+        assert rules("import numpy as np\nb = np.zeros(10)\n", HOT) == ["R3"]
+
+    def test_array_without_dtype(self):
+        assert rules("import numpy as np\na = np.array([1.0, 2.0])\n", HOT) == ["R3"]
+
+    def test_empty_without_dtype(self):
+        assert rules("import numpy as np\ne = np.empty((3, 3))\n", HOT) == ["R3"]
+
+    def test_float32_mixed_into_literal_accumulator(self):
+        src = """
+        import numpy as np
+        def f(n):
+            data = np.zeros(n, dtype=np.float32)
+            acc = 0.0
+            acc += data.sum()
+            return acc
+        """
+        assert rules(src, HOT) == ["R3"]
+
+
+class TestR3FalsePositives:
+    def test_explicit_dtype_passes(self):
+        src = """
+        import numpy as np
+        a = np.zeros(10, dtype=np.float64)
+        b = np.array([1.0], dtype=np.float64)
+        c = np.empty(3, dtype=np.int64)
+        """
+        assert rules(src, HOT) == []
+
+    def test_cold_path_not_checked(self):
+        assert rules("import numpy as np\nb = np.zeros(10)\n", COLD) == []
+
+    def test_like_constructors_inherit_dtype(self):
+        src = """
+        import numpy as np
+        def f(x):
+            return np.zeros_like(x) + np.empty_like(x)
+        """
+        assert rules(src, HOT) == []
+
+    def test_float64_accumulation_is_fine(self):
+        src = """
+        import numpy as np
+        def f(n):
+            data = np.zeros(n, dtype=np.float64)
+            acc = 0.0
+            acc += data.sum()
+            return acc
+        """
+        assert rules(src, HOT) == []
+
+
+# --------------------------------------------------------------------------
+# R4: hot-loop hygiene
+
+
+class TestR4TruePositives:
+    def test_range_over_elements(self):
+        src = """
+        def f(n_elements):
+            for e in range(n_elements):
+                pass
+        """
+        assert rules(src, HOT_LOOP) == ["R4"]
+
+    def test_enumerate_loop(self):
+        src = """
+        def f(rows):
+            for i, r in enumerate(rows):
+                pass
+        """
+        assert rules(src, HOT_LOOP) == ["R4"]
+
+    def test_nested_per_entry_loop(self):
+        src = """
+        def f(mats):
+            for e in range(len(mats)):
+                for k in range(mats[e].size):
+                    pass
+        """
+        assert sorted(rules(src, HOT_LOOP)) == ["R4", "R4"]
+
+
+class TestR4FalsePositives:
+    def test_small_constant_range(self):
+        src = """
+        def f():
+            for a in range(3):
+                for c in range(8):
+                    pass
+        """
+        assert rules(src, HOT_LOOP) == []
+
+    def test_allow_loop_marker(self):
+        src = """
+        def f(ne):
+            for e in range(ne):  # lint: allow-loop (legacy path)
+                pass
+        """
+        assert rules(src, HOT_LOOP) == []
+
+    def test_allow_loop_marker_on_previous_line(self):
+        src = """
+        def f(ne):
+            # lint: allow-loop
+            for e in range(ne):
+                pass
+        """
+        assert rules(src, HOT_LOOP) == []
+
+    def test_cold_module_not_checked(self):
+        src = """
+        def f(ne):
+            for e in range(ne):
+                pass
+        """
+        assert rules(src, COLD) == []
+
+    def test_plain_iteration_not_flagged(self):
+        src = """
+        def f(items):
+            for x in items:
+                pass
+        """
+        assert rules(src, HOT_LOOP) == []
+
+
+# --------------------------------------------------------------------------
+# suppression, baseline, CLI
+
+
+class TestSuppression:
+    def test_disable_comment(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()  # lint: disable=R1
+        """
+        assert rules(src) == []
+
+    def test_disable_wrong_rule_keeps_finding(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()  # lint: disable=R2
+        """
+        assert rules(src) == ["R1"]
+
+    def test_disable_list(self):
+        src = "import numpy as np\nb = np.zeros(10)  # lint: disable=R2, R3\n"
+        assert rules(src, HOT) == []
+
+
+class TestBaseline:
+    def test_roundtrip_and_new_finding(self, tmp_path):
+        old = findings("import numpy as np\nb = np.zeros(10)\n", HOT)
+        bl_file = tmp_path / "baseline.json"
+        write_baseline(old, bl_file)
+        baseline = load_baseline(bl_file)
+        # identical findings are fully grandfathered
+        assert apply_baseline(old, baseline) == []
+        # a new finding (different snippet) is reported
+        new = findings(
+            "import numpy as np\nb = np.zeros(10)\nc = np.empty(4)\n", HOT
+        )
+        fresh = apply_baseline(new, baseline)
+        assert [f.snippet for f in fresh] == ["c = np.empty(4)"]
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        old = findings("import numpy as np\nb = np.zeros(10)\n", HOT)
+        bl_file = tmp_path / "baseline.json"
+        write_baseline(old, bl_file)
+        shifted = findings(
+            "import numpy as np\n\n\n# comment\nb = np.zeros(10)\n", HOT
+        )
+        assert apply_baseline(shifted, load_baseline(bl_file)) == []
+
+    def test_baseline_is_a_multiset(self, tmp_path):
+        one = findings("import numpy as np\nb = np.zeros(10)\n", HOT)
+        bl_file = tmp_path / "b.json"
+        write_baseline(one, bl_file)
+        twice = findings(
+            "import numpy as np\nb = np.zeros(10)\nb = np.zeros(10)\n", HOT
+        )
+        fresh = apply_baseline(twice, load_baseline(bl_file))
+        assert len(fresh) == 1  # only the second occurrence is new
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "src" / "repro" / "fem" / "ok.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("import numpy as np\na = np.zeros(3, dtype=np.float64)\n")
+        assert main([str(tmp_path / "src"), "--no-baseline"]) == 0
+
+    def test_finding_exits_nonzero_and_prints_location(self, tmp_path, capsys):
+        f = tmp_path / "src" / "repro" / "fem" / "bad.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("import numpy as np\na = np.zeros(3)\n")
+        assert main([str(tmp_path / "src"), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out and "R3" in out
+
+    def test_write_then_check_baseline(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        # path component 'fem' puts the file in R3 scope
+        fem = tmp_path / "fem"
+        fem.mkdir()
+        f = fem / "bad.py"
+        f.write_text("import numpy as np\na = np.zeros(3)\n")
+        bl = tmp_path / "bl.json"
+        assert main([str(fem), "--write-baseline", str(bl)]) == 0
+        assert json.loads(bl.read_text())["findings"]
+        assert main([str(fem), "--baseline", str(bl)]) == 0
+
+    def test_missing_required_baseline_errors(self, tmp_path):
+        fem = tmp_path / "fem"
+        fem.mkdir()
+        (fem / "x.py").write_text("pass\n")
+        assert main([str(fem), "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_syntax_error_reported(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def f(:\n")
+        assert main([str(f), "--no-baseline"]) == 1

@@ -1,7 +1,6 @@
 """Analytic checks of the tensor-product element matrices."""
 
 import numpy as np
-import pytest
 
 from repro.fem.hexops import ElementOps
 

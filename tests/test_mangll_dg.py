@@ -5,7 +5,6 @@ import pytest
 
 from repro.forest import Forest, brick_connectivity, cubed_sphere_connectivity, unit_cube
 from repro.mangll import DGAdvection, solid_body_rotation
-from repro.octree import ROOT_LEN
 
 
 def const_wind(a):

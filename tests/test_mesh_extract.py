@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mesh import Mesh, extract_mesh
-from repro.octree import LinearOctree, ROOT_LEN, balance
+from repro.mesh import extract_mesh
+from repro.octree import LinearOctree, balance
 
 
 def refined_tree(seed=0, rounds=2, frac=0.3, start=1):
@@ -154,7 +154,7 @@ class TestInterpolateAt:
 
 class TestGuards:
     def test_max_level_guard(self):
-        from repro.octree import MAX_LEVEL, OctantArray
+        from repro.octree import MAX_LEVEL
         from repro.octree.linear import LinearOctree as LT
 
         # a tree with a leaf at MAX_LEVEL cannot be meshed (midpoints

@@ -11,16 +11,14 @@ from repro.mesh import extract_mesh
 from repro.mesh.parmesh import collect_ghosts, extract_parmesh, par_interpolate_at
 from repro.octree import (
     LinearOctree,
-    ROOT_LEN,
     balance,
     balance_tree,
     gather_tree,
-    morton_encode,
     new_tree,
     partition_markers,
     refine_tree,
 )
-from repro.octree.partree import ParTree, partition_tree
+from repro.octree.partree import partition_tree
 from repro.parallel import run_spmd
 
 PS = [1, 2, 3, 5]

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.octree import LinearOctree, OctantArray, ROOT_LEN, morton_encode
+from repro.octree import LinearOctree, ROOT_LEN, morton_encode
 
 
 def random_adapted_tree(rng: np.random.Generator, rounds: int = 3, start_level: int = 1):

@@ -248,3 +248,144 @@ class TestMachineModel:
             s.record_collective("allgather", 8)
         single = RANGER.t_collective("allgather", 8, 256)
         assert RANGER.t_comm(s, 256) == pytest.approx(10 * single)
+
+
+class TestMixedReductions:
+    """Regression: _REDUCTIONS min/max used to dispatch on vals[0] alone,
+    so a scalar contribution from rank 0 sent mixed scalar/ndarray
+    reductions down the python min()/max() branch, which raises (or
+    silently compares garbage) on ndarrays from other ranks.
+
+    Mixed payload signatures are illegal in real MPI (matching buffers
+    required) and CheckedComm rightly rejects them, so the mixed tests
+    pin REPRO_SANITIZE off to exercise the plain SimComm reduction.
+    """
+
+    @staticmethod
+    def _mixed_min(comm):
+        val = 5.0 if comm.rank == 0 else np.array([1.0, 7.0, 3.0]) + comm.rank
+        return comm.allreduce(val, "min")
+
+    @staticmethod
+    def _mixed_max(comm):
+        val = 2.0 if comm.rank == 0 else np.array([1.0, 7.0, 3.0]) + comm.rank
+        return comm.allreduce(val, "max")
+
+    def test_scalar_on_rank0_ndarray_elsewhere_min(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        for out in run_spmd(3, self._mixed_min):
+            assert isinstance(out, np.ndarray)
+            np.testing.assert_array_equal(out, [2.0, 5.0, 4.0])
+
+    def test_scalar_on_rank0_ndarray_elsewhere_max(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        for out in run_spmd(3, self._mixed_max):
+            assert isinstance(out, np.ndarray)
+            np.testing.assert_array_equal(out, [3.0, 9.0, 5.0])
+
+    def test_all_scalar_min_max_unchanged(self):
+        assert run_spmd(4, lambda c: c.allreduce(c.rank, "min")) == [0] * 4
+        assert run_spmd(4, lambda c: c.allreduce(c.rank, "max")) == [3] * 4
+
+    def test_extremum_result_does_not_alias_contribution(self):
+        def kernel(comm):
+            mine = np.full(3, float(comm.rank))
+            out = comm.allreduce(mine, "max")
+            out[:] = -99.0  # writing the result must not corrupt inputs
+            return mine[0]
+
+        assert run_spmd(2, kernel) == [0.0, 1.0]
+
+    def test_prod_single_rank_does_not_alias(self):
+        def kernel(comm):
+            mine = np.array([2.0, 3.0])
+            out = comm.allreduce(mine, "prod")
+            out *= 10.0
+            return mine.copy()
+
+        (res,) = run_spmd(1, kernel)
+        np.testing.assert_array_equal(res, [2.0, 3.0])
+
+
+class TestDefensiveCopies:
+    """Real MPI lands every message in a receiver-owned buffer; the
+    threaded transport must copy numpy payloads so simulated ranks never
+    alias (and corrupt through) one shared object."""
+
+    def test_recv_returns_private_buffer(self):
+        def kernel(comm):
+            if comm.rank == 0:
+                out = np.arange(4, dtype=np.float64)
+                comm.send(out, 1)
+            else:
+                out = comm.recv(0)
+                out += 100.0  # receiver-side write must stay private
+            comm.barrier()
+            return out.copy()
+
+        r0, r1 = run_spmd(2, kernel)
+        np.testing.assert_array_equal(r0, [0.0, 1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(r1, [100.0, 101.0, 102.0, 103.0])
+
+    def test_sender_mutation_after_send_not_observed(self):
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(3), 1)
+                got = None
+            else:
+                got = comm.recv(0)
+            comm.barrier()  # receiver has picked the message up
+            return got
+
+        # the copy happens at recv time, so a sender that mutates only
+        # after the receive completes can never be observed
+        _, got = run_spmd(2, kernel)
+        np.testing.assert_array_equal(got, [1.0, 1.0, 1.0])
+
+    def test_allgather_results_are_private_per_rank(self):
+        def kernel(comm):
+            parts = comm.allgather(np.full(2, float(comm.rank)))
+            parts[0][:] = -1.0  # scribbling on my copy of rank 0's part
+            comm.barrier()
+            return parts[1][0]
+
+        assert run_spmd(2, kernel) == [1.0, 1.0]
+
+    def test_bcast_result_is_private(self):
+        def kernel(comm):
+            root_arr = np.arange(3, dtype=np.float64)
+            got = comm.bcast(root_arr if comm.rank == 0 else None)
+            got[comm.rank] = 42.0
+            comm.barrier()
+            return root_arr[0] if comm.rank == 0 else None
+
+        r0, _ = run_spmd(2, kernel)
+        assert r0 == 0.0  # root's source buffer untouched by rank 1
+
+    def test_alltoall_entries_are_private(self):
+        def kernel(comm):
+            send = [np.full(2, float(comm.rank * 10 + j)) for j in range(comm.size)]
+            got = comm.alltoall(send)
+            for g in got:
+                g += 500.0
+            comm.barrier()
+            return send[comm.rank][0]
+
+        assert run_spmd(2, kernel) == [0.0, 11.0]
+
+    def test_nested_container_payloads_copied(self):
+        def kernel(comm):
+            if comm.rank == 0:
+                msg = {"a": [np.zeros(2)], "b": (np.ones(1),)}
+                comm.send(msg, 1)
+                out = msg["a"][0][0]
+            else:
+                got = comm.recv(0)
+                got["a"][0][0] = 7.0
+                got["b"][0][0] = 8.0
+                out = None
+            comm.barrier()
+            return out
+
+        r0, _ = run_spmd(2, kernel)
+        assert r0 == 0.0

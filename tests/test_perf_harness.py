@@ -1,9 +1,8 @@
 """Tests for the perf harness (measured + modeled scaling)."""
 
-import numpy as np
 import pytest
 
-from repro.parallel import RANGER, CommStats
+from repro.parallel import CommStats
 from repro.perf import (
     format_table,
     measured_pipeline_run,
