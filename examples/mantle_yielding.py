@@ -5,8 +5,15 @@ temperature-dependent viscosity with a lithospheric yield stress, a cold
 downwelling slab, and AMR that tracks thermal fronts, viscosity collapse,
 and the yielding (weak plate boundary) zones.
 
-Run:  python examples/mantle_yielding.py
+Checkpoint/restart: ``--checkpoint-every N`` snapshots the full solver
+state (fields, counters, diagnostics, warm-start data) every N cycles
+into ``--checkpoint-dir``; ``--resume`` continues from the newest
+checkpoint there with a bitwise-identical trajectory.
+
+Run:  python examples/mantle_yielding.py [--checkpoint-every N] [--resume]
 """
+
+import argparse
 
 import numpy as np
 
@@ -22,28 +29,45 @@ def slab_and_plume(coords):
     return np.clip(base + slab + plume, 0.0, 1.0)
 
 
-def main():
-    cfg = RheaConfig(
+def make_config(initial_level=3, max_level=6, target_elements=1400):
+    return RheaConfig(
         Ra=1e5,
         domain=(8.0, 4.0, 1.0),
         viscosity=YieldingViscosity(sigma_y=500.0),
-        initial_level=3,
+        initial_level=initial_level,
         min_level=2,
-        max_level=6,
+        max_level=max_level,
         adapt_every=4,
         picard_iterations=2,
         stokes_tol=1e-5,
-        target_elements=1400,
+        target_elements=target_elements,
         viscosity_weight=0.8,
         yield_weight=1.5,
     )
-    sim = MantleConvection(cfg, T_init=slab_and_plume)
-    sim.adapt_initial(rounds=2, target=1400)
+
+
+def main(cycles=4, checkpoint_every=None, checkpoint_dir="checkpoints_yielding",
+         resume=False, initial_level=3, max_level=6, target_elements=1400):
+    cfg = make_config(initial_level, max_level, target_elements)
+    checkpoint = None
+    if checkpoint_every:
+        from repro.checkpoint import Checkpointer
+
+        checkpoint = Checkpointer(checkpoint_dir, every=checkpoint_every)
+
+    if resume:
+        sim = MantleConvection.resume_from(checkpoint_dir, config=cfg)
+        print(f"resumed from checkpoint in {checkpoint_dir!r} at "
+              f"step {sim.step_count} (t = {sim.sim_time:.3e}, "
+              f"{len(sim.history)} cycles recorded)")
+    else:
+        sim = MantleConvection(cfg, T_init=slab_and_plume)
+        sim.adapt_initial(rounds=2, target=target_elements)
 
     print(f"{'cycle':>5} {'#elem':>6} {'vrms':>9} {'Nu':>7} {'MINRES':>7} "
           f"{'eta range':>16} {'yielded':>8}")
-    for cycle in range(4):
-        sim.run(1)
+    for _ in range(cycles):
+        sim.run(1, checkpoint=checkpoint)
         d = sim.history[-1]
         law = cfg.viscosity
         mesh = sim.mesh
@@ -52,7 +76,7 @@ def main():
         edot = strain_rate_invariant(mesh, sim.u)
         yielded = int(law.yielded_mask(T_e, z_e, edot).sum())
         print(
-            f"{cycle + 1:>5} {d.n_elements:>6} {d.vrms:>9.3g} {d.nusselt:>7.2f} "
+            f"{len(sim.history):>5} {d.n_elements:>6} {d.vrms:>9.3g} {d.nusselt:>7.2f} "
             f"{d.minres_iterations:>7} "
             f"{d.eta_min:>7.1e}..{d.eta_max:<7.1e} {yielded:>8}"
         )
@@ -65,4 +89,15 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cycles", type=int, default=4,
+                    help="convection cycles to run (default 4)")
+    ap.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                    help="snapshot the solver state every N cycles")
+    ap.add_argument("--checkpoint-dir", default="checkpoints_yielding",
+                    help="checkpoint root directory (default checkpoints_yielding)")
+    ap.add_argument("--resume", action="store_true",
+                    help="resume from the newest checkpoint in --checkpoint-dir")
+    args = ap.parse_args()
+    main(cycles=args.cycles, checkpoint_every=args.checkpoint_every,
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume)

@@ -6,31 +6,51 @@ simulated MPI ranks, advecting a thin spherical front with a rotating
 velocity, then prints the per-function timing breakdown and communication
 totals the Section-V benchmarks are built on.
 
-Run:  python examples/parallel_amr.py [P]
+Checkpoint/restart: ``--checkpoint-every N`` snapshots the distributed
+state every N cycles into ``--checkpoint-dir``; ``--resume`` restarts
+from the newest checkpoint there — on *any* rank count, since shards
+concatenate along the Morton curve and repartition on load.
+
+Run:  python examples/parallel_amr.py [P] [--checkpoint-every N] [--resume]
 """
 
-import sys
-
-import numpy as np
+import argparse
 
 from repro.amr import ParAmrPipeline, RotatingFrontWorkload, rotating_velocity
 from repro.parallel import run_spmd_with_comms
 
 
-def main(p=4):
+def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
+         resume=False, target=600, max_level=6):
     workload = RotatingFrontWorkload(velocity=rotating_velocity(scale=3.0))
+    checkpoint = None
+    if checkpoint_every:
+        from repro.checkpoint import Checkpointer
+
+        checkpoint = Checkpointer(checkpoint_dir, every=checkpoint_every)
 
     def kernel(comm):
-        pipe = ParAmrPipeline(comm, workload=workload, coarse_level=2, max_level=6)
-        for _ in range(3):
-            pipe.adapt(target=600)
+        if resume:
+            pipe = ParAmrPipeline.resume_from(comm, checkpoint_dir, workload=workload)
+        else:
+            pipe = ParAmrPipeline(
+                comm, workload=workload, coarse_level=2, max_level=max_level
+            )
+        start_cycle = pipe.cycles_done
+        for _ in range(cycles):
+            pipe.adapt(target=target)
             pipe.advance_time(0.1, cfl=0.5)
+            pipe.cycles_done += 1
+            if checkpoint is not None and checkpoint.due(pipe.cycles_done):
+                checkpoint.save_pipeline(pipe)
         # collect global quantities while the SPMD world is still alive
         # (collectives cannot be issued after run_spmd returns)
         return {
             "n_global": pipe.pt.global_count(),
             "levels": pipe.pt.level_histogram(),
             "steps": pipe.steps_taken,
+            "sim_time": pipe.sim_time,
+            "start_cycle": start_cycle,
             "timings": pipe.timing_breakdown(),
             "amr_fraction": pipe.amr_fraction(),
             "history": pipe.adapt_history,
@@ -40,8 +60,11 @@ def main(p=4):
     results, comms = run_spmd_with_comms(p, kernel)
     pipe = results[0]
 
+    if resume:
+        print(f"resumed from checkpoint in {checkpoint_dir!r} "
+              f"at cycle {pipe['start_cycle']}")
     print(f"\nglobal elements: {pipe['n_global']}, levels {pipe['levels']}")
-    print(f"steps taken: {pipe['steps']}")
+    print(f"steps taken: {pipe['steps']} (t = {pipe['sim_time']:.3f})")
 
     print("\nper-function timing (rank 0, seconds):")
     for name, t in sorted(pipe["timings"].items(), key=lambda kv: -kv[1]):
@@ -62,4 +85,17 @@ def main(p=4):
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("ranks", nargs="?", type=int, default=4,
+                    help="simulated rank count (default 4)")
+    ap.add_argument("--cycles", type=int, default=3,
+                    help="adapt+advance cycles to run (default 3)")
+    ap.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                    help="snapshot the distributed state every N cycles")
+    ap.add_argument("--checkpoint-dir", default="checkpoints_amr",
+                    help="checkpoint root directory (default checkpoints_amr)")
+    ap.add_argument("--resume", action="store_true",
+                    help="resume from the newest checkpoint in --checkpoint-dir")
+    args = ap.parse_args()
+    main(args.ranks, cycles=args.cycles, checkpoint_every=args.checkpoint_every,
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume)

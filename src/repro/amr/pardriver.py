@@ -33,7 +33,7 @@ from ..octree.partree import (
     partition_tree,
     refine_tree,
 )
-from ..parallel import SimComm
+from ..parallel import SimComm, check_fault
 from .mark import mark_elements
 
 __all__ = ["ParAmrPipeline", "ParAdaptStats", "RotatingFrontWorkload", "rotating_velocity"]
@@ -95,6 +95,7 @@ class ParAmrPipeline:
         min_level: int = 1,
         max_level: int = 6,
         connectivity: str = "corner",
+        tree=None,
     ):
         self.comm = comm
         self.workload = workload or RotatingFrontWorkload()
@@ -104,19 +105,36 @@ class ParAmrPipeline:
         self.timings: dict[str, float] = {}
         self.adapt_history: list[ParAdaptStats] = []
         self.steps_taken = 0
+        self.sim_time = 0.0
+        self.cycles_done = 0
 
         t0 = time.perf_counter()
-        self.pt: ParTree = new_tree(comm, coarse_level)
-        self._tic("NewTree", t0)
-        t0 = time.perf_counter()
-        self.pt, _, _ = balance_tree(self.pt, connectivity)
-        self._tic("BalanceTree", t0)
+        if tree is not None:
+            # restart path: ``tree`` is this rank's Morton segment of an
+            # already-balanced leaf set (checkpoints save post-balance
+            # state), so NEWTREE and BALANCETREE are skipped
+            self.pt = ParTree(comm, tree)
+            self._tic("NewTree", t0)
+        else:
+            self.pt = new_tree(comm, coarse_level)
+            self._tic("NewTree", t0)
+            t0 = time.perf_counter()
+            self.pt, _, _ = balance_tree(self.pt, connectivity)
+            self._tic("BalanceTree", t0)
         t0 = time.perf_counter()
         self.pm: ParMesh = extract_parmesh(self.pt)
         self._tic("ExtractMesh", t0)
         coords = self.pm.mesh.node_coords()
         T0 = self.workload.initial(coords)
         self.T = T0[self.pm.mesh.indep_nodes]
+
+    @classmethod
+    def resume_from(cls, comm: SimComm, path: str, workload=None) -> "ParAmrPipeline":
+        """Rebuild a pipeline from a checkpoint (any rank count); see
+        :func:`repro.checkpoint.restore_pipeline`."""
+        from ..checkpoint import restore_pipeline
+
+        return restore_pipeline(comm, path, workload=workload)
 
     def _tic(self, name: str, t0: float) -> None:
         self.timings[name] = self.timings.get(name, 0.0) + time.perf_counter() - t0
@@ -224,6 +242,7 @@ class ParAmrPipeline:
         dt = eq.cfl_dt(cfl)
         self.T = eq.advance(self.T, dt, n_steps)
         self.steps_taken += n_steps
+        self.sim_time += n_steps * dt
         self._tic("TimeIntegration", t0)
         return dt
 
@@ -236,13 +255,36 @@ class ParAmrPipeline:
         t0 = time.perf_counter()
         self.T = eq.advance(self.T, t_span / n, n)
         self.steps_taken += n
+        self.sim_time += n * (t_span / n)
         self._tic("TimeIntegration", t0)
         return n
 
-    def run_cycles(self, n_cycles: int, steps_per_cycle: int, target: int) -> None:
+    def run_cycles(
+        self,
+        n_cycles: int,
+        steps_per_cycle: int,
+        target: int,
+        checkpoint=None,
+    ) -> None:
+        """The outer loop: adapt, advance, optionally snapshot.
+
+        ``checkpoint`` is a path / CheckpointConfig / Checkpointer (see
+        :mod:`repro.checkpoint.driver`); the fault-injection hook is
+        polled mid-cycle, between adaptation and time integration, so an
+        armed fault loses exactly the work since the last snapshot.
+        """
+        ckpt = None
+        if checkpoint is not None:
+            from ..checkpoint import Checkpointer
+
+            ckpt = Checkpointer.coerce(checkpoint)
         for _ in range(n_cycles):
             self.adapt(target)
+            check_fault(self.comm, self.steps_taken)
             self.advance(steps_per_cycle)
+            self.cycles_done += 1
+            if ckpt is not None and ckpt.due(self.cycles_done):
+                ckpt.save_pipeline(self)
 
     # -- reporting --------------------------------------------------------------------
 

@@ -4,7 +4,7 @@ Generic linters cannot know that ``comm.allreduce`` must be reached by
 every rank, that values handed out by :mod:`repro.mesh.opcache` are
 shared and must never be written in place, or that the PR-1 vectorized
 kernels must not regrow per-element Python loops.  This module encodes
-those invariants as four rules:
+those invariants as five rules:
 
 R1  **collective symmetry** — a collective call (``allreduce``,
     ``allgather``, ``alltoall``, ``barrier``, ``bcast``, ``exscan``,
@@ -32,6 +32,12 @@ R4  **hot-loop hygiene** (modules PR 1 vectorized: ``assembly``,
     ``amg``, ``dg``, ``transfer``) — per-element Python ``for`` loops
     (``range(...)`` over a non-trivial bound, or ``enumerate(...)``)
     unless the line carries ``# lint: allow-loop``.
+
+R5  **serialization determinism** (``checkpoint/`` only) — iteration
+    over ``dict.items()`` / ``.keys()`` / ``.values()`` (in ``for``
+    statements or comprehensions) not wrapped in ``sorted(...)``.
+    Checkpoint bytes and digests must not depend on dict insertion
+    order, which varies with code path and restart history.
 
 Suppression and baselining
 --------------------------
@@ -81,6 +87,7 @@ RULES = {
     "R2": "in-place mutation of a cached/memoized value",
     "R3": "missing explicit dtype / float32-float64 mixing in hot path",
     "R4": "per-element Python loop in a vectorized hot module",
+    "R5": "unordered dict iteration while serializing state",
 }
 
 #: methods on a communicator that every rank must call collectively
@@ -112,6 +119,13 @@ R3_PACKAGES = ("fem", "solvers", "mangll")
 
 #: module stems PR 1 vectorized — R4 (hot-loop hygiene) applies here
 R4_MODULES = {"assembly", "amg", "dg", "transfer"}
+
+#: path fragments where R5 (serialization determinism) is enforced —
+#: the state-serializing subsystem, where byte layout = dict order
+R5_PACKAGES = ("checkpoint",)
+
+#: dict-view methods whose iteration order is insertion order
+DICT_VIEW_METHODS = {"items", "keys", "values"}
 
 #: memoized getters on Mesh whose return values are cache-shared
 CACHED_GETTERS = {"element_sizes", "element_centers"}
@@ -256,6 +270,30 @@ def _is_float32_dtype(node: ast.AST) -> bool:
     return False
 
 
+def _unsorted_dict_view(node: ast.AST) -> str | None:
+    """The dict-view method name if ``node`` iterates ``d.items()`` /
+    ``.keys()`` / ``.values()`` without a ``sorted(...)`` wrapper.
+
+    Order-preserving wrappers (``enumerate``, ``reversed``, ``list``,
+    ``tuple``, ``iter``) are looked through; ``sorted(...)`` makes the
+    iteration deterministic and clears the finding.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    f = node.func
+    if isinstance(f, ast.Name):
+        if f.id == "sorted":
+            return None
+        if f.id in ("enumerate", "reversed", "list", "tuple", "iter"):
+            for a in node.args:
+                if (m := _unsorted_dict_view(a)) is not None:
+                    return m
+        return None
+    if isinstance(f, ast.Attribute) and f.attr in DICT_VIEW_METHODS and not node.args:
+        return f.attr
+    return None
+
+
 def _cache_handle_rhs(node: ast.AST) -> bool:
     """RHS that yields a cache handle: ``operator_cache(mesh)``."""
     if isinstance(node, ast.Call):
@@ -327,6 +365,7 @@ class _FileLinter(ast.NodeVisitor):
         self.r3_active = any(p in parts for p in R3_PACKAGES)
         stem = Path(norm).stem
         self.r4_active = stem in R4_MODULES
+        self.r5_active = any(p in parts for p in R5_PACKAGES)
         # stack of rank-dependent control constructs (kind, line)
         self._ctrl: list[tuple[str, int]] = []
         self._scope = _Scope(set(), set(), set(), set(), set())
@@ -393,6 +432,8 @@ class _FileLinter(ast.NodeVisitor):
     def visit_For(self, node: ast.For) -> None:
         if self.r4_active:
             self._check_hot_loop(node)
+        if self.r5_active:
+            self._check_dict_iter(node.iter)
         dependent = _is_tainted(node.iter, self._scope.tainted)
         if dependent:
             for name in _target_names(node.target):
@@ -526,6 +567,29 @@ class _FileLinter(ast.NodeVisitor):
                 f"np.{f.attr} without explicit dtype in hot path "
                 "(float64 intent must be spelled out)",
             )
+
+    # -- R5: serialization determinism -------------------------------------
+
+    def _check_dict_iter(self, it: ast.AST) -> None:
+        if (method := _unsorted_dict_view(it)) is not None:
+            self._emit(
+                it,
+                "R5",
+                f"iteration over dict '.{method}()' while serializing state; "
+                "wrap in sorted(...) so byte layout and digests are "
+                "insertion-order independent",
+            )
+
+    def _visit_comprehension(self, node) -> None:
+        if self.r5_active:
+            for gen in node.generators:
+                self._check_dict_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     # -- R4: hot-loop hygiene ----------------------------------------------
 
@@ -667,7 +731,7 @@ def apply_baseline(findings: list[Finding], baseline: Counter) -> list[Finding]:
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="SPMD correctness linter (rules R1-R4) for this repository.",
+        description="SPMD correctness linter (rules R1-R5) for this repository.",
     )
     ap.add_argument("paths", nargs="*", default=["src"], help="files or trees to lint")
     ap.add_argument(

@@ -1,0 +1,86 @@
+"""Periodic-checkpoint policy wired into the time loops.
+
+A :class:`Checkpointer` bundles the where (directory), the when (every N
+cycles), and the how much (retention); ``run_cycles``/``run`` accept one
+via their ``checkpoint=`` argument — or, for convenience, a plain path
+string or a :class:`CheckpointConfig`, both coerced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .snapshot import save_convection, save_pipeline
+
+__all__ = ["CheckpointConfig", "Checkpointer"]
+
+
+@dataclass
+class CheckpointConfig:
+    """Declarative checkpoint policy."""
+
+    directory: str
+    #: snapshot every N completed cycles (0 disables periodic saves)
+    every: int = 1
+    #: retain the newest K checkpoints (None keeps everything)
+    keep: int | None = 2
+    #: serialize warm-start solver state (convection path)
+    include_solver_state: bool = True
+
+
+class Checkpointer:
+    """Stateful policy object: decides when a cycle ends in a snapshot.
+
+    ``last_path`` holds the most recent checkpoint directory written.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        every: int = 1,
+        keep: int | None = 2,
+        include_solver_state: bool = True,
+    ):
+        self.directory = directory
+        self.every = int(every)
+        self.keep = keep
+        self.include_solver_state = include_solver_state
+        self.last_path: str | None = None
+        self.n_saved = 0
+
+    @classmethod
+    def coerce(cls, spec) -> "Checkpointer | None":
+        """None | path str | CheckpointConfig | Checkpointer -> policy."""
+        if spec is None or isinstance(spec, cls):
+            return spec
+        if isinstance(spec, CheckpointConfig):
+            return cls(
+                spec.directory,
+                every=spec.every,
+                keep=spec.keep,
+                include_solver_state=spec.include_solver_state,
+            )
+        if isinstance(spec, (str, bytes)) or hasattr(spec, "__fspath__"):
+            return cls(str(spec))
+        raise TypeError(
+            f"checkpoint= expects a path, CheckpointConfig, or Checkpointer; "
+            f"got {type(spec).__name__}"
+        )
+
+    def due(self, cycles_done: int) -> bool:
+        return self.every > 0 and cycles_done > 0 and cycles_done % self.every == 0
+
+    def save_pipeline(self, pipe) -> str:
+        self.last_path = save_pipeline(pipe, self.directory, keep=self.keep)
+        self.n_saved += 1
+        return self.last_path
+
+    def save_convection(self, sim) -> str:
+        self.last_path = save_convection(
+            sim,
+            self.directory,
+            keep=self.keep,
+            include_solver_state=self.include_solver_state,
+        )
+        self.n_saved += 1
+        return self.last_path

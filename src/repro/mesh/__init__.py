@@ -16,7 +16,7 @@ from .opcache import (
     reset_cache_stats,
     set_cache_enabled,
 )
-from .vtk import write_vtk
+from .vtk import VtkSeries, write_vtk
 
 __all__ = [
     "Mesh",
@@ -33,4 +33,5 @@ __all__ = [
     "reset_cache_stats",
     "set_cache_enabled",
     "write_vtk",
+    "VtkSeries",
 ]

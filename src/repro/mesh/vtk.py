@@ -8,11 +8,14 @@ exports.  No third-party dependencies.
 
 from __future__ import annotations
 
+import os
+import re
+
 import numpy as np
 
 from .extract import Mesh
 
-__all__ = ["write_vtk"]
+__all__ = ["write_vtk", "VtkSeries"]
 
 # VTK_HEXAHEDRON expects vertices ordered as the 4 bottom corners CCW then
 # the 4 top corners CCW; our element vertex order is x-fastest binary.
@@ -25,6 +28,8 @@ def write_vtk(
     point_fields: dict | None = None,
     cell_fields: dict | None = None,
     title: str = "repro octree mesh",
+    step: int | None = None,
+    time: float | None = None,
 ) -> None:
     """Write the mesh and optional nodal / per-element fields.
 
@@ -36,6 +41,11 @@ def write_vtk(
         Name -> (n_nodes,) arrays (full node vectors, hanging included).
     cell_fields:
         Name -> (n_elements,) arrays (e.g. viscosity, level, rank).
+    step, time:
+        Simulation counters, written as a legacy ``FIELD`` block
+        (``CYCLE`` / ``TIME``, the convention ParaView and VisIt read);
+        pass the restored driver counters so a resumed run's outputs
+        carry the true step/time rather than restarting at 0.
     """
     pts = mesh.node_coords()
     cells = mesh.element_nodes[:, _VTK_ORDER]
@@ -45,8 +55,17 @@ def write_vtk(
         title,
         "ASCII",
         "DATASET UNSTRUCTURED_GRID",
-        f"POINTS {mesh.n_nodes} double",
     ]
+    n_meta = (step is not None) + (time is not None)
+    if n_meta:
+        lines.append(f"FIELD FieldData {n_meta}")
+        if step is not None:
+            lines.append("CYCLE 1 1 int")
+            lines.append(str(int(step)))
+        if time is not None:
+            lines.append("TIME 1 1 double")
+            lines.append(f"{float(time):.17g}")
+    lines.append(f"POINTS {mesh.n_nodes} double")
     lines.extend(" ".join(f"{v:.10g}" for v in p) for p in pts)
     lines.append(f"CELLS {ne} {ne * 9}")
     lines.extend("8 " + " ".join(str(i) for i in c) for c in cells)
@@ -74,3 +93,65 @@ def write_vtk(
 
     with open(path, "w") as fh:
         fh.write("\n".join(lines) + "\n")
+
+
+class VtkSeries:
+    """A step-indexed sequence of VTK files (``<prefix>_<step:06d>.vtk``).
+
+    The series is resumable: on construction any files already matching
+    the prefix are scanned, and subsequent writes must carry a strictly
+    larger step than everything on disk.  A run resumed from a
+    checkpoint therefore *extends* the series from its restored step
+    counter — it cannot silently clobber earlier outputs by counting
+    from 0 again, and the step/time metadata inside each file stays
+    monotone across the restart.
+    """
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        directory = os.path.dirname(prefix) or "."
+        base = os.path.basename(prefix)
+        pat = re.compile(re.escape(base) + r"_(\d{6})\.vtk$")
+        steps = []
+        if os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                m = pat.match(name)
+                if m:
+                    steps.append(int(m.group(1)))
+        self.last_step: int | None = max(steps) if steps else None
+        self.last_time: float | None = None
+
+    def path_for(self, step: int) -> str:
+        return f"{self.prefix}_{step:06d}.vtk"
+
+    def write(
+        self,
+        mesh: Mesh,
+        step: int,
+        time: float,
+        point_fields: dict | None = None,
+        cell_fields: dict | None = None,
+        title: str = "repro octree mesh",
+    ) -> str:
+        """Write the next member; enforces strictly increasing steps and
+        non-decreasing times.  Returns the path written."""
+        if self.last_step is not None and step <= self.last_step:
+            raise ValueError(
+                f"VtkSeries {self.prefix!r}: step {step} does not extend the "
+                f"series (last written step is {self.last_step}); resumed "
+                "runs must continue from their restored counters"
+            )
+        if self.last_time is not None and time < self.last_time:
+            raise ValueError(
+                f"VtkSeries {self.prefix!r}: time {time} moves backwards "
+                f"(last written time is {self.last_time})"
+            )
+        path = self.path_for(step)
+        write_vtk(
+            path, mesh,
+            point_fields=point_fields, cell_fields=cell_fields,
+            title=title, step=step, time=time,
+        )
+        self.last_step = step
+        self.last_time = time
+        return path

@@ -11,7 +11,18 @@ Public API:
 """
 
 from .machine import RANGER, MachineModel
-from .simcomm import SimComm, SimWorld, SpmdAbort, run_spmd, run_spmd_with_comms
+from .simcomm import (
+    InjectedFault,
+    SimComm,
+    SimWorld,
+    SpmdAbort,
+    arm_fault,
+    check_fault,
+    disarm_fault,
+    fault_injection,
+    run_spmd,
+    run_spmd_with_comms,
+)
 from .stats import CommStats, merge_stats, payload_nbytes
 
 __all__ = [
@@ -20,6 +31,11 @@ __all__ = [
     "SimComm",
     "SimWorld",
     "SpmdAbort",
+    "InjectedFault",
+    "arm_fault",
+    "disarm_fault",
+    "fault_injection",
+    "check_fault",
     "run_spmd",
     "run_spmd_with_comms",
     "CommStats",

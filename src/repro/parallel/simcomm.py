@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import deque
+from contextlib import contextmanager
 from typing import Any, Callable
 
 import numpy as np
@@ -45,11 +46,80 @@ __all__ = [
     "SpmdAbort",
     "set_comm_factory",
     "get_comm_factory",
+    "InjectedFault",
+    "arm_fault",
+    "disarm_fault",
+    "fault_injection",
+    "check_fault",
 ]
 
 
 class SpmdAbort(RuntimeError):
     """Raised in surviving ranks when another rank failed."""
+
+
+class InjectedFault(RuntimeError):
+    """Deliberate rank kill from the fault-injection hook (tests only)."""
+
+    def __init__(self, rank: int, step: int):
+        super().__init__(
+            f"injected fault: rank {rank} killed at step {step}"
+        )
+        self.rank = rank
+        self.step = step
+
+
+# One armed fault at a time, process-global: the driver loops poll it via
+# :func:`check_fault`, so a test can kill a chosen rank at a chosen step
+# and exercise the crash/restore path end to end.
+_fault_lock = threading.Lock()
+_fault: dict | None = None
+
+
+def arm_fault(rank: int, step: int) -> None:
+    """Arm the hook: the first :func:`check_fault` on ``rank`` whose step
+    counter has reached ``step`` raises :class:`InjectedFault` there (the
+    world then aborts, as for any real rank failure)."""
+    global _fault
+    with _fault_lock:
+        _fault = {"rank": int(rank), "step": int(step), "fired": False}
+
+
+def disarm_fault() -> None:
+    global _fault
+    with _fault_lock:
+        _fault = None
+
+
+@contextmanager
+def fault_injection(rank: int, step: int):
+    """``with fault_injection(1, 40): ...`` — armed inside, always
+    disarmed on exit (even when the injected crash propagates out)."""
+    arm_fault(rank, step)
+    try:
+        yield
+    finally:
+        disarm_fault()
+
+
+def check_fault(comm, step: int) -> None:
+    """Driver hook: raise :class:`InjectedFault` if a fault is armed for
+    this rank and ``step`` has reached the armed step.
+
+    ``comm=None`` means a serial driver (treated as rank 0).  Fires at
+    most once per arming.
+    """
+    f = _fault
+    if f is None:
+        return
+    rank = comm.rank if comm is not None else 0
+    if rank != f["rank"] or step < f["step"]:
+        return
+    with _fault_lock:
+        if f["fired"] or _fault is not f:
+            return
+        f["fired"] = True
+    raise InjectedFault(rank, step)
 
 
 def _reduce_extremum(vals, ufunc, pyfunc):

@@ -18,10 +18,18 @@ the same process:
 - ``amg_setup``: AMG setup on a model Poisson operator, vectorized vs.
   sequential aggregation.
 
+A second suite (``--suite checkpoint``, BENCH_checkpoint.json) measures
+the overhead of the PR-3 checkpoint subsystem:
+
+- ``checkpoint_overhead``: the SPMD AMR pipeline with a snapshot every
+  cycle; records the snapshot wall-fraction per cycle, shard bytes per
+  element, and the wall time of a restore onto a different rank count.
+
 ``--smoke`` shrinks every scenario so CI can validate JSON emission in
 seconds; timings in smoke mode are not meaningful and are not gated.
 
-Run: ``PYTHONPATH=src python -m repro.perf.regress [--smoke] [--out PATH]``
+Run: ``PYTHONPATH=src python -m repro.perf.regress [--suite NAME]
+[--smoke] [--out PATH]``
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ from ..solvers.amg import (
     strength_graph,
 )
 
-__all__ = ["run_suite", "main"]
+__all__ = ["run_suite", "run_checkpoint_suite", "main"]
 
 
 def _stokes_arm(config: RheaConfig, level: int, n_solves: int, adv_steps: int):
@@ -188,6 +196,72 @@ def bench_amg_setup(smoke: bool) -> dict:
     }
 
 
+def bench_checkpoint_overhead(smoke: bool) -> dict:
+    """SPMD AMR pipeline with a per-cycle snapshot: how much wall time
+    does checkpointing add, and how dense is the on-disk format?"""
+    import shutil
+    import tempfile
+
+    from ..amr import ParAmrPipeline
+    from ..checkpoint import load_checkpoint, restore_pipeline, save_pipeline
+    from ..parallel import run_spmd
+
+    p = 2
+    restore_p = 3  # prove the resharded-restore path in the same run
+    cycles = 2 if smoke else 4
+    steps = 2
+    target = 250 if smoke else 600
+    max_level = 4 if smoke else 5
+    root = tempfile.mkdtemp(prefix="bench_ckpt_")
+    try:
+
+        def kernel(comm):
+            pipe = ParAmrPipeline(comm, coarse_level=2, max_level=max_level)
+            compute_s = snapshot_s = 0.0
+            for _ in range(cycles):
+                t0 = time.perf_counter()
+                pipe.adapt(target)
+                pipe.advance(steps)
+                pipe.cycles_done += 1
+                compute_s += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                save_pipeline(pipe, root, keep=2)
+                snapshot_s += time.perf_counter() - t0
+            return {
+                "compute_s": compute_s,
+                "snapshot_s": snapshot_s,
+                "n_global": pipe.pt.global_count(),
+            }
+
+        outs = run_spmd(p, kernel)
+        # the slowest rank sets the wall clock in both phases
+        compute_s = max(o["compute_s"] for o in outs)
+        snapshot_s = max(o["snapshot_s"] for o in outs)
+        n_global = outs[0]["n_global"]
+
+        t0 = time.perf_counter()
+        run_spmd(restore_p, lambda comm: (restore_pipeline(comm, root), None)[1])
+        restore_s = time.perf_counter() - t0
+
+        manifest, _ = load_checkpoint(root)
+        shard_bytes = sum(s.nbytes for s in manifest.shards)
+        return {
+            "ranks": p,
+            "cycles": cycles,
+            "n_elements_global": int(n_global),
+            "compute_s": compute_s,
+            "snapshot_s": snapshot_s,
+            "snapshot_s_per_cycle": snapshot_s / cycles,
+            "snapshot_fraction": snapshot_s / (compute_s + snapshot_s),
+            "shard_bytes_total": int(shard_bytes),
+            "shard_bytes_per_element": shard_bytes / n_global,
+            "restore_ranks": restore_p,
+            "restore_s": restore_s,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run_suite(smoke: bool = False) -> dict:
     out = {
         "suite": "PR1 setup amortization",
@@ -208,29 +282,67 @@ def run_suite(smoke: bool = False) -> dict:
     return out
 
 
+def run_checkpoint_suite(smoke: bool = False) -> dict:
+    out = {
+        "suite": "PR3 checkpoint overhead",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    t0 = time.perf_counter()
+    out["scenarios"]["checkpoint_overhead"] = bench_checkpoint_overhead(smoke)
+    out["scenarios"]["checkpoint_overhead"]["scenario_wall_s"] = time.perf_counter() - t0
+    print(
+        f"[regress] checkpoint_overhead: "
+        f"{json.dumps(out['scenarios']['checkpoint_overhead'])}",
+        flush=True,
+    )
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--suite",
+        choices=["tentpole", "checkpoint"],
+        default="tentpole",
+        help="which scenario suite to run (default tentpole)",
+    )
     ap.add_argument("--smoke", action="store_true", help="tiny sizes, emission check only")
     ap.add_argument(
         "--out",
         default=None,
-        help="output JSON path (default BENCH_tentpole.json, or "
-        "BENCH_smoke.json in smoke mode so smoke runs never clobber "
-        "the full-mode artifact)",
+        help="output JSON path (default BENCH_<suite>.json, or "
+        "BENCH_<suite>_smoke.json in smoke mode so smoke runs never "
+        "clobber the full-mode artifact)",
     )
     args = ap.parse_args(argv)
     if args.out is None:
-        args.out = "BENCH_smoke.json" if args.smoke else "BENCH_tentpole.json"
-    result = run_suite(smoke=args.smoke)
+        stem = "tentpole" if args.suite == "tentpole" else "checkpoint"
+        args.out = f"BENCH_{stem}_smoke.json" if args.smoke else f"BENCH_{stem}.json"
+        if args.suite == "tentpole" and args.smoke:
+            args.out = "BENCH_smoke.json"  # historical name, used by CI
+    if args.suite == "checkpoint":
+        result = run_checkpoint_suite(smoke=args.smoke)
+    else:
+        result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2)
     print(f"[regress] wrote {args.out}")
-    sr = result["scenarios"]["stokes_repeat"]
-    print(
-        f"[regress] stokes_repeat speedup {sr['speedup']:.2f}x "
-        f"(baseline {sr['baseline_s']:.2f}s -> optimized {sr['optimized_s']:.2f}s), "
-        f"lag iteration ratio {sr['lag_iter_ratio']:.3f}"
-    )
+    if args.suite == "tentpole":
+        sr = result["scenarios"]["stokes_repeat"]
+        print(
+            f"[regress] stokes_repeat speedup {sr['speedup']:.2f}x "
+            f"(baseline {sr['baseline_s']:.2f}s -> optimized {sr['optimized_s']:.2f}s), "
+            f"lag iteration ratio {sr['lag_iter_ratio']:.3f}"
+        )
+    else:
+        co = result["scenarios"]["checkpoint_overhead"]
+        print(
+            f"[regress] snapshot fraction {100 * co['snapshot_fraction']:.1f}% "
+            f"of cycle wall, {co['shard_bytes_per_element']:.0f} B/element, "
+            f"restore on {co['restore_ranks']} ranks in {co['restore_s']:.2f}s"
+        )
     return 0
 
 

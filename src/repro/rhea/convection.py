@@ -135,6 +135,20 @@ class MantleConvection:
         self._p_prev: np.ndarray | None = None  # pressure warm start
         self._p_prev_mesh: Mesh | None = None
 
+    @classmethod
+    def resume_from(
+        cls, path: str, config: RheaConfig | None = None,
+        include_solver_state: bool = True,
+    ) -> "MantleConvection":
+        """Rebuild a run from a checkpoint directory (or a root of them);
+        see :func:`repro.checkpoint.restore_convection`.  ``config`` must
+        match the run that saved the checkpoint."""
+        from ..checkpoint import restore_convection
+
+        return restore_convection(
+            path, config=config, include_solver_state=include_solver_state
+        )
+
     # -- initial adaptation -----------------------------------------------------
 
     def adapt_initial(self, rounds: int = 3, target: int | None = None) -> None:
@@ -344,10 +358,26 @@ class MantleConvection:
 
     # -- main loop ----------------------------------------------------------------------
 
-    def run(self, n_cycles: int, adapt: bool = True) -> list[StepDiagnostics]:
+    def run(
+        self, n_cycles: int, adapt: bool = True, checkpoint=None
+    ) -> list[StepDiagnostics]:
         """Run ``n_cycles`` of (adapt -> Stokes solve -> advance
-        temperature ``adapt_every`` steps), recording diagnostics."""
+        temperature ``adapt_every`` steps), recording diagnostics.
+
+        ``checkpoint`` is a path / CheckpointConfig / Checkpointer (see
+        :mod:`repro.checkpoint.driver`); snapshots land after the cycles
+        they complete, so a crash loses at most the current cycle.  The
+        fault-injection hook of :mod:`repro.parallel.simcomm` is polled
+        mid-cycle (serial drivers count as rank 0).
+        """
+        from ..parallel import check_fault
+
         cfg = self.config
+        ckpt = None
+        if checkpoint is not None:
+            from ..checkpoint import Checkpointer
+
+            ckpt = Checkpointer.coerce(checkpoint)
         for _ in range(n_cycles):
             timings = {}
             if adapt:
@@ -355,6 +385,7 @@ class MantleConvection:
                 report = self.adapt()
                 timings["AMR"] = time.perf_counter() - t0
                 timings.update(report.timings)
+            check_fault(None, self.step_count)
             t0 = time.perf_counter()
             stats = self.solve_stokes()
             timings["Stokes"] = time.perf_counter() - t0
@@ -376,4 +407,6 @@ class MantleConvection:
                     timings=timings,
                 )
             )
+            if ckpt is not None and ckpt.due(len(self.history)):
+                ckpt.save_convection(self)
         return self.history

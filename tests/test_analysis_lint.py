@@ -458,3 +458,88 @@ class TestCli:
         f = tmp_path / "broken.py"
         f.write_text("def f(:\n")
         assert main([str(f), "--no-baseline"]) == 1
+
+
+# --------------------------------------------------------------------------
+# R5: unordered dict iteration while serializing state (checkpoint scope)
+
+CKPT = "src/repro/checkpoint/fixture.py"  # R5 active (checkpoint/)
+
+
+class TestR5TruePositives:
+    def test_items_in_for_loop(self):
+        src = """
+        def pack(arrays):
+            for name, arr in arrays.items():
+                emit(name, arr)
+        """
+        assert rules(src, CKPT) == ["R5"]
+
+    def test_keys_in_for_loop(self):
+        src = """
+        def pack(arrays):
+            for name in arrays.keys():
+                emit(name)
+        """
+        assert rules(src, CKPT) == ["R5"]
+
+    def test_values_through_enumerate(self):
+        src = """
+        def pack(arrays):
+            for i, arr in enumerate(arrays.values()):
+                emit(i, arr)
+        """
+        assert rules(src, CKPT) == ["R5"]
+
+    def test_items_in_comprehension(self):
+        src = """
+        def digest(arrays):
+            return [h(a) for _, a in arrays.items()]
+        """
+        assert rules(src, CKPT) == ["R5"]
+
+    def test_message_mentions_sorted_and_digests(self):
+        src = """
+        def pack(arrays):
+            for k in arrays.keys():
+                emit(k)
+        """
+        f = findings(src, CKPT)[0]
+        assert "sorted" in f.message and "digest" in f.message
+
+
+class TestR5FalsePositives:
+    def test_sorted_items_is_fine(self):
+        src = """
+        def pack(arrays):
+            for name in sorted(arrays):
+                emit(name)
+            for name, arr in sorted(arrays.items()):
+                emit(name, arr)
+        """
+        assert rules(src, CKPT) == []
+
+    def test_inactive_outside_checkpoint_paths(self):
+        src = """
+        def pack(arrays):
+            for name, arr in arrays.items():
+                emit(name, arr)
+        """
+        assert rules(src, COLD) == []
+        assert rules(src, HOT) == []
+
+    def test_iteration_without_serialization_views(self):
+        src = """
+        def pack(names):
+            for name in names:
+                emit(name)
+        """
+        assert rules(src, CKPT) == []
+
+    def test_suppression_comment(self):
+        src = """
+        def pack(arrays):
+            for name, arr in arrays.items():  # lint: disable=R5
+                emit(name, arr)
+        """
+        assert rules(src, CKPT) == []

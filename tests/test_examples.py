@@ -28,6 +28,57 @@ class TestExamples:
         assert "AMR fraction" in out
         assert "adaptation history" in out
 
+    def test_parallel_amr_checkpoint_resume(self, capsys, tmp_path, monkeypatch):
+        """--checkpoint-every / --resume round trip, across rank counts."""
+        monkeypatch.chdir(tmp_path)
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import parallel_amr
+
+            parallel_amr.main(2, cycles=2, checkpoint_every=1,
+                              checkpoint_dir="ck", target=250, max_level=4)
+            assert (tmp_path / "ck").is_dir()
+            parallel_amr.main(3, cycles=1, checkpoint_every=1,
+                              checkpoint_dir="ck", resume=True,
+                              target=250, max_level=4)
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint in 'ck' at cycle 2" in out
+
+    def test_mantle_yielding_runs_small(self, capsys):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import mantle_yielding
+
+            mantle_yielding.main(cycles=1, initial_level=2, max_level=3,
+                                 target_elements=200)
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert "vrms" in out
+        assert "final octree levels" in out
+
+    def test_mantle_yielding_checkpoint_resume(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import mantle_yielding
+
+            mantle_yielding.main(cycles=2, checkpoint_every=1,
+                                 checkpoint_dir="ck", initial_level=2,
+                                 max_level=3, target_elements=200)
+            assert (tmp_path / "ck").is_dir()
+            mantle_yielding.main(cycles=1, checkpoint_every=1,
+                                 checkpoint_dir="ck", resume=True,
+                                 initial_level=2, max_level=3,
+                                 target_elements=200)
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint in 'ck'" in out
+        assert "2 cycles recorded" in out
+
     def test_spherical_advection_runs(self, capsys):
         sys.path.insert(0, str(EXAMPLES))
         try:

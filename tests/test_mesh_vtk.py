@@ -64,3 +64,74 @@ class TestWriteVtk:
             write_vtk(str(tmp_path / "x.vtk"), mesh, point_fields={"b": np.zeros(3)})
         with pytest.raises(ValueError):
             write_vtk(str(tmp_path / "y.vtk"), mesh, cell_fields={"c": np.zeros(3)})
+
+
+class TestStepTimeMetadata:
+    def test_field_block_written(self, tmp_path):
+        mesh = small_mesh()
+        path = tmp_path / "m.vtk"
+        write_vtk(str(path), mesh, step=42, time=0.125)
+        lines = path.read_text().splitlines()
+        i = lines.index("FIELD FieldData 2")
+        assert i == lines.index("DATASET UNSTRUCTURED_GRID") + 1
+        assert lines[i + 1] == "CYCLE 1 1 int"
+        assert lines[i + 2] == "42"
+        assert lines[i + 3] == "TIME 1 1 double"
+        assert float(lines[i + 4]) == 0.125
+
+    def test_time_round_trips_at_full_precision(self, tmp_path):
+        mesh = small_mesh()
+        t = 0.1 + 0.2  # not exactly representable in decimal
+        path = tmp_path / "m.vtk"
+        write_vtk(str(path), mesh, step=0, time=t)
+        lines = path.read_text().splitlines()
+        assert float(lines[lines.index("TIME 1 1 double") + 1]) == t
+
+    def test_omitted_when_not_given(self, tmp_path):
+        mesh = small_mesh()
+        path = tmp_path / "m.vtk"
+        write_vtk(str(path), mesh)
+        assert "FIELD" not in path.read_text()
+
+
+class TestVtkSeries:
+    def test_monotone_steps_enforced(self, tmp_path):
+        from repro.mesh import VtkSeries
+
+        mesh = small_mesh()
+        s = VtkSeries(str(tmp_path / "run"))
+        s.write(mesh, step=3, time=0.3)
+        s.write(mesh, step=5, time=0.5)
+        with pytest.raises(ValueError, match="does not extend"):
+            s.write(mesh, step=5, time=0.6)
+        with pytest.raises(ValueError, match="restored counters"):
+            s.write(mesh, step=0, time=0.6)
+        with pytest.raises(ValueError, match="moves backwards"):
+            s.write(mesh, step=6, time=0.4)
+
+    def test_resume_scans_existing_files(self, tmp_path):
+        """A resumed run reopening the series cannot clobber outputs a
+        previous run already wrote."""
+        from repro.mesh import VtkSeries
+
+        mesh = small_mesh()
+        s1 = VtkSeries(str(tmp_path / "run"))
+        s1.write(mesh, step=1, time=0.1)
+        s1.write(mesh, step=2, time=0.2)
+        s2 = VtkSeries(str(tmp_path / "run"))  # fresh object, same prefix
+        assert s2.last_step == 2
+        with pytest.raises(ValueError):
+            s2.write(mesh, step=2, time=0.3)
+        path = s2.write(mesh, step=7, time=0.3)
+        assert path.endswith("run_000007.vtk")
+        # metadata inside the file carries the restored counters
+        lines = open(path).read().splitlines()
+        assert lines[lines.index("CYCLE 1 1 int") + 1] == "7"
+
+    def test_unrelated_files_ignored(self, tmp_path):
+        from repro.mesh import VtkSeries
+
+        (tmp_path / "other_000099.vtk").write_text("")
+        (tmp_path / "run_bad.vtk").write_text("")
+        s = VtkSeries(str(tmp_path / "run"))
+        assert s.last_step is None

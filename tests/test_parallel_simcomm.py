@@ -389,3 +389,64 @@ class TestDefensiveCopies:
 
         r0, _ = run_spmd(2, kernel)
         assert r0 == 0.0
+
+
+class TestFaultInjection:
+    def test_disarmed_is_noop(self):
+        from repro.parallel import check_fault, disarm_fault
+
+        disarm_fault()
+        check_fault(None, 10**9)  # nothing armed -> no raise
+
+    def test_arm_disarm(self):
+        from repro.parallel import (
+            InjectedFault,
+            arm_fault,
+            check_fault,
+            disarm_fault,
+        )
+
+        arm_fault(rank=0, step=5)
+        try:
+            check_fault(None, 4)  # before the armed step
+            with pytest.raises(InjectedFault) as exc:
+                check_fault(None, 5)
+            assert exc.value.rank == 0 and exc.value.step == 5
+            # fires exactly once
+            check_fault(None, 6)
+        finally:
+            disarm_fault()
+
+    def test_serial_driver_counts_as_rank_zero(self):
+        from repro.parallel import InjectedFault, fault_injection, check_fault
+
+        with fault_injection(rank=1, step=0):
+            check_fault(None, 3)  # comm=None is rank 0, fault targets rank 1
+        with fault_injection(rank=0, step=0):
+            with pytest.raises(InjectedFault):
+                check_fault(None, 3)
+
+    def test_context_manager_disarms_on_exit(self):
+        from repro.parallel import check_fault, fault_injection
+
+        with fault_injection(rank=0, step=0):
+            pass
+        check_fault(None, 10)  # disarmed again
+
+    def test_only_armed_rank_dies_and_world_aborts(self):
+        from repro.parallel import InjectedFault, check_fault, fault_injection
+
+        observed = {}
+
+        def kernel(comm):
+            check_fault(comm, step=2)
+            observed[comm.rank] = True
+            comm.barrier()  # survivors must be released by the abort
+
+        with fault_injection(rank=1, step=2):
+            with pytest.raises(InjectedFault) as exc:
+                run_spmd(3, kernel)
+        assert exc.value.rank == 1
+        assert "rank 1" in str(exc.value) and "step 2" in str(exc.value)
+        # ranks 0 and 2 got past their own check_fault
+        assert observed.keys() == {0, 2}

@@ -214,3 +214,17 @@ class TestPerfSuiteSmoke:
         assert sc["dg_cubed_sphere"]["rate_bitwise_equal"] is True
         assert sc["amg_setup"]["n_agg_vectorized"] <= sc["amg_setup"]["n_agg_reference"]
         assert sc["stokes_repeat"]["vrms_rel_diff"] < 1e-4
+
+    def test_checkpoint_suite_smoke(self, tmp_path, monkeypatch):
+        from repro.perf.regress import main, run_checkpoint_suite
+
+        out = run_checkpoint_suite(smoke=True)
+        co = out["scenarios"]["checkpoint_overhead"]
+        assert 0.0 < co["snapshot_fraction"] < 1.0
+        assert co["shard_bytes_per_element"] > 0
+        assert co["restore_ranks"] != co["ranks"]
+        assert co["restore_s"] > 0
+        # CLI path writes the JSON artifact
+        monkeypatch.chdir(tmp_path)
+        assert main(["--suite", "checkpoint", "--smoke"]) == 0
+        assert (tmp_path / "BENCH_checkpoint_smoke.json").exists()
