@@ -117,8 +117,10 @@ DTYPE_CTORS = {"array", "zeros", "empty"}
 #: path fragments where R3 (dtype discipline) is enforced
 R3_PACKAGES = ("fem", "solvers", "mangll")
 
-#: module stems PR 1 vectorized — R4 (hot-loop hygiene) applies here
-R4_MODULES = {"assembly", "amg", "dg", "transfer"}
+#: module stems PR 1 vectorized — R4 (hot-loop hygiene) applies here;
+#: matfree joined in PR 4 (the sum-factorized apply engine is the hottest
+#: loop in the code and must stay loop-free outside annotated exceptions)
+R4_MODULES = {"assembly", "amg", "dg", "transfer", "matfree"}
 
 #: path fragments where R5 (serialization determinism) is enforced —
 #: the state-serializing subsystem, where byte layout = dict order

@@ -19,6 +19,7 @@ from ..mesh import Mesh
 from ..mesh.opcache import operator_cache
 from .assembly import assemble_rhs, assemble_scalar, lumped_mass
 from .hexops import ElementOps
+from .matfree import MatFreeAdvectionOperator
 
 __all__ = ["AdvectionDiffusion", "element_velocity_from_nodal", "supg_tau"]
 
@@ -68,6 +69,11 @@ class AdvectionDiffusion:
     dirichlet:
         List of ``(axis, side, value)`` tuples fixing the field on domain
         faces; remaining boundaries are natural (insulated).
+    variant:
+        ``"tensor"`` (default) applies the SUPG operator matrix-free
+        through :class:`repro.fem.matfree.MatFreeAdvectionOperator`; the
+        assembled ``A`` is built lazily on access.  ``"matrix"`` is the
+        legacy assembled path.
     """
 
     def __init__(
@@ -77,8 +83,12 @@ class AdvectionDiffusion:
         vel: np.ndarray,
         source: float = 0.0,
         dirichlet: list[tuple[int, int, float]] | None = None,
+        variant: str = "tensor",
     ):
+        if variant not in ("tensor", "matrix"):
+            raise ValueError(f"unknown variant {variant!r}")
         self.mesh = mesh
+        self.variant = variant
         self.kappa = float(kappa)
         self.vel = np.asarray(vel, dtype=np.float64)
         if self.vel.shape != (mesh.n_elements, 3):
@@ -86,10 +96,12 @@ class AdvectionDiffusion:
         sizes = mesh.element_sizes()
         self.tau = supg_tau(sizes, self.vel, self.kappa)
 
-        elem = _OPS.stiffness(sizes, self.kappa)
-        elem += _OPS.convection(sizes, self.vel)
-        elem += self.tau[:, None, None] * _OPS.grad_grad(sizes, self.vel)
-        self.A = assemble_scalar(mesh, elem)
+        self._A = None
+        self.matfree = None
+        if variant == "tensor":
+            self.matfree = MatFreeAdvectionOperator(mesh, self.kappa, self.vel, self.tau)
+        else:
+            self._A = self._assemble_operator()
 
         cache = operator_cache(mesh)
         mass_e = cache.get("elem_mass", lambda: _OPS.mass(sizes))
@@ -121,6 +133,20 @@ class AdvectionDiffusion:
 
     # -- semi-discrete operator ---------------------------------------------
 
+    def _assemble_operator(self):
+        sizes = self.mesh.element_sizes()
+        elem = _OPS.stiffness(sizes, self.kappa)
+        elem += _OPS.convection(sizes, self.vel)
+        elem += self.tau[:, None, None] * _OPS.grad_grad(sizes, self.vel)
+        return assemble_scalar(self.mesh, elem)
+
+    @property
+    def A(self):
+        """Assembled SUPG operator (built on demand in tensor mode)."""
+        if self._A is None:
+            self._A = self._assemble_operator()
+        return self._A
+
     def apply_bcs(self, T: np.ndarray) -> np.ndarray:
         """Overwrite Dirichlet dofs with their prescribed values."""
         out = T.copy()
@@ -129,7 +155,8 @@ class AdvectionDiffusion:
 
     def rate(self, T: np.ndarray) -> np.ndarray:
         """dT/dt on independent dofs (Dirichlet rows frozen)."""
-        r = (self.b - self.A @ T) / self.ML
+        AT = self.matfree.apply(T) if self.matfree is not None else self.A @ T
+        r = (self.b - AT) / self.ML
         r[self._bc_mask] = 0.0
         return r
 

@@ -37,6 +37,7 @@ from .assembly import (
     assemble_vector,
 )
 from .hexops import ElementOps
+from .matfree import MatFreeStokesOperator, lumped_scalar_mass
 
 __all__ = ["StokesSystem"]
 
@@ -65,6 +66,13 @@ class StokesSystem:
         consistent load is the nodal mass applied per component.
     bc:
         ``"free_slip"`` or ``"no_slip"``.
+    variant:
+        ``"tensor"`` (default) applies the saddle operator matrix-free
+        through :class:`repro.fem.matfree.MatFreeStokesOperator`; the
+        assembled blocks ``A``/``B``/``C`` are then built lazily, only if
+        something asks for them (AMG setup assembles its own scalar
+        Poisson blocks either way).  ``"matrix"`` is the legacy fully
+        assembled path.
     """
 
     def __init__(
@@ -73,8 +81,12 @@ class StokesSystem:
         viscosity: np.ndarray,
         body_force: np.ndarray | None = None,
         bc: str = "free_slip",
+        variant: str = "tensor",
     ):
+        if variant not in ("tensor", "matrix"):
+            raise ValueError(f"unknown variant {variant!r}")
         self.mesh = mesh
+        self.variant = variant
         self.viscosity = np.asarray(viscosity, dtype=np.float64)
         if self.viscosity.shape != (mesh.n_elements,):
             raise ValueError("viscosity must be per-element")
@@ -83,11 +95,7 @@ class StokesSystem:
         sizes = mesh.element_sizes()
         n = mesh.n_independent
         cache = operator_cache(mesh)
-
-        self.A = assemble_vector(mesh, _OPS.strain_stiffness(sizes, self.viscosity))
-        self.C = assemble_scalar(
-            mesh, _OPS.pressure_stabilization(sizes, self.viscosity)
-        )
+        self._A = self._C = self._B = None
 
         # consistent body-force load
         self.f = np.zeros(3 * n, dtype=np.float64)
@@ -105,21 +113,66 @@ class StokesSystem:
         # velocity boundary conditions
         self.bc_kind = bc
         self.bc = cache.get(("stokes_bcs", bc), lambda: self._build_bcs(bc))
-        self.A, self.f = apply_dirichlet(self.A, self.f, self.bc.dofs)
-        # the divergence block is viscosity-independent, and so is its
-        # column masking: constrained velocity dofs drop out of B
-        self.B = cache.get(("stokes_B", bc), self._build_divergence)
+        self.matfree = None
+        if variant == "tensor":
+            # Dirichlet values are homogeneous, so eliminating them from
+            # the rhs is just zeroing the constrained entries; the
+            # operator-side elimination is folded into the matfree gather
+            self.f[self.bc.dofs] = 0.0
+            self.matfree = MatFreeStokesOperator(
+                mesh, self.viscosity, bc, self.bc.dofs
+            )
+        else:
+            self._A = assemble_vector(
+                mesh, _OPS.strain_stiffness(sizes, self.viscosity)
+            )
+            self._C = assemble_scalar(
+                mesh, _OPS.pressure_stabilization(sizes, self.viscosity)
+            )
+            self._A, self.f = apply_dirichlet(self._A, self.f, self.bc.dofs)
 
         self.n_u = 3 * n
         self.n_p = n
 
+    # -- assembled blocks (lazy in tensor mode) ---------------------------------
+
+    @property
+    def A(self) -> sp.csr_matrix:
+        """Dirichlet-eliminated strain stiffness (assembled on demand)."""
+        if self._A is None:
+            A = assemble_vector(
+                self.mesh, _OPS.strain_stiffness(self.mesh.element_sizes(), self.viscosity)
+            )
+            self._A, _ = apply_dirichlet(A, None, self.bc.dofs)
+        return self._A
+
+    @property
+    def C(self) -> sp.csr_matrix:
+        """Pressure stabilization block (assembled on demand)."""
+        if self._C is None:
+            self._C = assemble_scalar(
+                self.mesh,
+                _OPS.pressure_stabilization(self.mesh.element_sizes(), self.viscosity),
+            )
+        return self._C
+
+    @property
+    def B(self) -> sp.csr_matrix:
+        """Column-masked negative divergence (viscosity-independent,
+        cached per mesh/BC, assembled on demand)."""
+        if self._B is None:
+            self._B = operator_cache(self.mesh).get(
+                ("stokes_B", self.bc_kind), self._build_divergence
+            )
+        return self._B
+
     def _build_divergence(self) -> sp.csr_matrix:
         """-(divergence) with constrained-velocity columns zeroed."""
         mesh = self.mesh
-        B = sp.csr_matrix(-assemble_divergence(mesh, _OPS.divergence(mesh.element_sizes())))
+        B = -assemble_divergence(mesh, _OPS.divergence(mesh.element_sizes()))
         col_mask = np.ones(3 * mesh.n_independent)
         col_mask[self.bc.dofs] = 0.0
-        return sp.csr_matrix(B @ sp.diags(col_mask))
+        return B @ sp.diags(col_mask)
 
     # -- boundary conditions ----------------------------------------------------
 
@@ -151,6 +204,8 @@ class StokesSystem:
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Apply the full saddle operator [[A, B^T], [B, -C]]."""
+        if self.matfree is not None:
+            return self.matfree.apply(x)
         u, p = x[: self.n_u], x[self.n_u :]
         out = np.empty_like(x)
         out[: self.n_u] = self.A @ u + self.B.T @ p
@@ -187,6 +242,8 @@ class StokesSystem:
 
     def schur_diagonal(self) -> np.ndarray:
         """``Stilde``: inverse-viscosity-weighted lumped pressure mass."""
+        if self.matfree is not None:
+            return lumped_scalar_mass(self.mesh, 1.0 / self.viscosity)
         sizes = self.mesh.element_sizes()
         from .assembly import lumped_mass
 
@@ -195,4 +252,6 @@ class StokesSystem:
 
     def velocity_divergence_norm(self, x: np.ndarray) -> float:
         """||B u|| — discrete divergence residual of a solution vector."""
+        if self.matfree is not None:
+            return float(np.linalg.norm(self.matfree.apply_divergence(x[: self.n_u])))
         return float(np.linalg.norm(self.B @ x[: self.n_u]))

@@ -12,10 +12,21 @@ of a nodal field on a ``(p+1)^3`` spectral element:
 
 The crossover order between the two on a given machine is exactly the
 experiment reported for Ranger (between p = 2 and p = 4); the benchmark
-``benchmarks/bench_sec7_dg_kernels.py`` reproduces it on this host.
+``benchmarks/bench_sec7_dg_kernels.py`` reproduces it on this host and
+:meth:`repro.parallel.machine.MachineModel.t_element_kernel` prices both
+variants with the paper's sustained rates.
 
 Both kernels return ``(du/dr, du/ds, du/dt)`` in reference coordinates;
 the DG solver composes them with metric terms.
+
+This module is the shared kernel layer for *all* element-batched tensor
+algebra in the code base: the DG solver uses :class:`DerivativeKernel`
+directly, and the low-order FEM matrix-free apply engine
+(:mod:`repro.fem.matfree`) builds its fused Gauss-point evaluation
+matrices from the same 1-D factors through :func:`kron3` /
+:func:`contract_axis`.  Every kernel is batched over elements — operands
+carry arbitrary leading batch axes ``(..., n^3)`` (elements, or elements
+x fields), so one call applies the operator to the whole mesh at once.
 """
 
 from __future__ import annotations
@@ -24,7 +35,15 @@ import numpy as np
 
 from .lgl import diff_matrix, lgl_nodes
 
-__all__ = ["DerivativeKernel", "matrix_flops", "tensor_flops"]
+__all__ = [
+    "DerivativeKernel",
+    "matrix_flops",
+    "tensor_flops",
+    "matrix_bytes",
+    "tensor_bytes",
+    "kron3",
+    "contract_axis",
+]
 
 
 def matrix_flops(p: int) -> int:
@@ -37,11 +56,61 @@ def tensor_flops(p: int) -> int:
     return 6 * (p + 1) ** 4
 
 
+def matrix_bytes(p: int) -> int:
+    """Bytes streamed per element by the matrix-based gradient: the field
+    is read once per derivative matrix and three gradients are written
+    (the three dense ``(p+1)^3`` square matrices stay cache-resident
+    across a batch and are not charged per element)."""
+    n3 = (p + 1) ** 3
+    return 8 * (3 * n3 + 3 * n3)
+
+
+def tensor_bytes(p: int) -> int:
+    """Bytes streamed per element by the tensor-product gradient: one
+    field read and one gradient write per axis (the 1-D matrices are
+    negligible)."""
+    n3 = (p + 1) ** 3
+    return 8 * (3 * n3 + 3 * n3)
+
+
+def kron3(az: np.ndarray, ay: np.ndarray, ax: np.ndarray) -> np.ndarray:
+    """``kron(Az, Ay, Ax)`` for 1-D factor matrices, matching the node
+    ordering ``u[..., k, j, i]`` (x fastest).  Used to *fuse* a
+    sum-factorized operator into a single small dense matrix when the 1-D
+    extent is tiny (the ``n = 2`` trilinear FEM case, where per-axis
+    passes cost more in memory traffic than they save in flops)."""
+    return np.kron(az, np.kron(ay, ax))
+
+
+def contract_axis(A: np.ndarray, u: np.ndarray, axis: int) -> np.ndarray:
+    """Contract the 1-D operator ``A`` (shape ``(m, n)``) along one
+    tensor axis of an element-batched field.
+
+    ``u`` has shape ``(..., n_t, n_s, n_r)`` with arbitrary leading batch
+    axes (elements, or elements x fields); ``axis`` counts 0 = r (x,
+    fastest), 1 = s (y), 2 = t (z).  Returns the same shape with the
+    contracted axis replaced by ``m``.  This is the single primitive of
+    the sum-factorized (tensor-product) variant: one gradient is three
+    calls, ``6 (p+1)^4`` flops per element instead of ``6 (p+1)^6``.
+    """
+    # operate on the last three axes; einsum handles leading batch dims
+    if axis == 0:
+        return np.einsum("ab,...tsb->...tsa", A, u)
+    if axis == 1:
+        return np.einsum("ab,...tbr->...tar", A, u)
+    if axis == 2:
+        return np.einsum("ab,...bsr->...asr", A, u)
+    raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+
+
 class DerivativeKernel:
     """Reference-space gradient on batches of spectral elements.
 
     Node ordering within an element is ``u[..., k, j, i]`` flattened C-style
-    (i fastest along r).
+    (i fastest along r).  Both variants accept arbitrary leading batch
+    axes: ``(ne, n^3)`` applies the kernel to every element of a mesh at
+    once, ``(ne, nfields, n^3)`` to every field of every element (the
+    element-batched form shared by the DG and FEM layers).
     """
 
     def __init__(self, p: int):
@@ -52,24 +121,24 @@ class DerivativeKernel:
         n = self.n
         # dense 3-D derivative matrices for the matrix-based variant
         I = np.eye(n)
-        self.Dr_full = np.kron(np.kron(I, I), self.D)
-        self.Ds_full = np.kron(np.kron(I, self.D), I)
-        self.Dt_full = np.kron(np.kron(self.D, I), I)
+        self.Dr_full = kron3(I, I, self.D)
+        self.Ds_full = kron3(I, self.D, I)
+        self.Dt_full = kron3(self.D, I, I)
 
     # -- variants ------------------------------------------------------------
 
     def gradient_matrix(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Matrix-based: ``u`` is (ne, n^3); three dense matmuls."""
+        """Matrix-based: ``u`` is (..., n^3); three dense matmuls."""
         return (u @ self.Dr_full.T, u @ self.Ds_full.T, u @ self.Dt_full.T)
 
     def gradient_tensor(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Tensor-product: contract D along each axis of (ne, n, n, n)."""
-        ne = u.shape[0]
+        """Tensor-product: contract D along each axis of (..., n, n, n)."""
         n = self.n
-        v = u.reshape(ne, n, n, n)  # [e, t, s, r]
-        dr = np.einsum("ab,etsb->etsa", self.D, v).reshape(ne, -1)
-        ds = np.einsum("ab,etbr->etar", self.D, v).reshape(ne, -1)
-        dt = np.einsum("ab,ebsr->easr", self.D, v).reshape(ne, -1)
+        batch = u.shape[:-1]
+        v = u.reshape(*batch, n, n, n)  # [..., t, s, r]
+        dr = contract_axis(self.D, v, 0).reshape(*batch, -1)
+        ds = contract_axis(self.D, v, 1).reshape(*batch, -1)
+        dt = contract_axis(self.D, v, 2).reshape(*batch, -1)
         return dr, ds, dt
 
     def gradient(self, u: np.ndarray, variant: str = "tensor"):
@@ -84,4 +153,13 @@ class DerivativeKernel:
             return tensor_flops(self.p) * n_elements
         if variant == "matrix":
             return matrix_flops(self.p) * n_elements
+        raise ValueError(f"unknown variant {variant!r}")
+
+    def bytes(self, variant: str, n_elements: int) -> int:
+        """Bytes streamed through memory by one gradient of ``n_elements``
+        elements (prices the bandwidth-bound side of the roofline)."""
+        if variant == "tensor":
+            return tensor_bytes(self.p) * n_elements
+        if variant == "matrix":
+            return matrix_bytes(self.p) * n_elements
         raise ValueError(f"unknown variant {variant!r}")

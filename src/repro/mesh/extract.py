@@ -352,7 +352,7 @@ def extract_submesh(leaves, domain=(1.0, 1.0, 1.0)) -> Mesh:
     for _ in range(8):
         if len(child) == 0 or not hanging[closure.indices].any():
             break
-        closure = sp.csr_matrix(closure @ subst)
+        closure = closure @ subst
         closure.eliminate_zeros()
     else:
         raise AssertionError("hanging constraint closure did not terminate")
@@ -383,7 +383,7 @@ def extract_submesh(leaves, domain=(1.0, 1.0, 1.0)) -> Mesh:
         node_coords_int=coords,
         element_nodes=element_nodes,
         hanging=hanging,
-        Z=sp.csr_matrix(Z),
+        Z=Z,
         indep_nodes=indep_nodes,
         dof_of_node=dof_of_node,
     )

@@ -18,6 +18,20 @@ the same process:
 - ``amg_setup``: AMG setup on a model Poisson operator, vectorized vs.
   sequential aggregation.
 
+A third suite (``--suite matvec``, BENCH_matvec.json) measures the PR-4
+matrix-free apply engine:
+
+- ``saddle_apply``: per-iteration saddle-operator cost on a *fresh* mesh
+  (the adaptive-workload reality: the assembled arm pays block assembly
+  before its first apply, the tensor arm only builds gathers), raw
+  warm-cache apply times, flop ratios, and tensor/matrix parity.
+- ``stokes_e2e``: full MINRES solves under both variants; residual
+  histories must track to ~1e-10 of the initial residual.
+- ``advection_rate``: SUPG rate-operator apply, tensor vs assembled.
+- ``kernel_crossover``: the Section VII matrix-vs-tensor derivative
+  kernel comparison (measured throughput per order + the modeled-Ranger
+  crossover order).
+
 A second suite (``--suite checkpoint``, BENCH_checkpoint.json) measures
 the overhead of the PR-3 checkpoint subsystem:
 
@@ -54,7 +68,7 @@ from ..solvers.amg import (
     strength_graph,
 )
 
-__all__ = ["run_suite", "run_checkpoint_suite", "main"]
+__all__ = ["run_suite", "run_checkpoint_suite", "run_matvec_suite", "main"]
 
 
 def _stokes_arm(config: RheaConfig, level: int, n_solves: int, adv_steps: int):
@@ -262,6 +276,249 @@ def bench_checkpoint_overhead(smoke: bool) -> dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _matvec_mesh(level: int, seed: int = 0):
+    """Fresh adapted hanging-node mesh (never seen by any operator cache)."""
+    from ..mesh import extract_mesh
+    from ..octree import LinearOctree, balance
+
+    tree = LinearOctree.uniform(level)
+    rng = np.random.default_rng(seed)
+    tree = tree.refine(rng.random(len(tree)) < 0.25)
+    tree = balance(tree, "corner").tree
+    return extract_mesh(tree, (1.0, 1.0, 1.0))
+
+
+def _matvec_problem(mesh):
+    """Layered-viscosity buoyancy problem (smooth enough for MINRES)."""
+    z = mesh.element_centers()[:, 2]
+    eta = np.exp(4.0 * z)  # ~55x layered viscosity contrast
+    c = mesh.node_coords()
+    bf = np.zeros((mesh.n_nodes, 3))
+    bf[:, 2] = np.sin(np.pi * c[:, 0]) * np.cos(np.pi * c[:, 2])
+    return eta, bf
+
+
+def _time_repeat(fn, reps: int) -> float:
+    fn()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+def bench_saddle_apply(smoke: bool) -> dict:
+    """The gated comparison: per-iteration cost of the saddle operator in
+    an adaptive workload (every mesh is fresh, so the assembled arm pays
+    sparse assembly before its first apply while the tensor arm only
+    builds gathers), plus the honest raw warm-cache apply timings."""
+    from ..fem import StokesSystem
+    from ..fem.matfree import csr_apply_flops, saddle_apply_flops
+
+    level = 2 if smoke else 3
+    reps = 5 if smoke else 50
+    k = 10 if smoke else 100  # MINRES applies per fresh mesh (~1 solve)
+
+    # matrix arm on a fresh mesh: setup = full block assembly
+    mesh_m = _matvec_mesh(level)
+    eta, bf = _matvec_problem(mesh_m)
+    t0 = time.perf_counter()
+    st_m = StokesSystem(mesh_m, eta, bf, bc="free_slip", variant="matrix")
+    st_m.B  # noqa: B018 — force the lazy divergence block like matvec will
+    setup_matrix_s = time.perf_counter() - t0
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(st_m.n_dof)
+    apply_matrix_s = _time_repeat(lambda: st_m.matvec(x), reps)
+
+    # tensor arm on its own fresh mesh: setup = gathers + coefficient bind
+    mesh_t = _matvec_mesh(level)
+    eta_t, bf_t = _matvec_problem(mesh_t)
+    t0 = time.perf_counter()
+    st_t = StokesSystem(mesh_t, eta_t, bf_t, bc="free_slip", variant="tensor")
+    setup_tensor_s = time.perf_counter() - t0
+    apply_tensor_s = _time_repeat(lambda: st_t.matvec(x), reps)
+
+    parity = float(
+        np.max(np.abs(st_t.matvec(x) - st_m.matvec(x)))
+        / np.max(np.abs(st_m.matvec(x)))
+    )
+    amort_matrix = setup_matrix_s / k + apply_matrix_s
+    amort_tensor = setup_tensor_s / k + apply_tensor_s
+    nnz = st_m.A.nnz + 2 * st_m.B.nnz + st_m.C.nnz
+    tensor_flops_n = saddle_apply_flops(mesh_t.n_elements)
+    matrix_flops_n = csr_apply_flops(nnz)
+    return {
+        "level": level,
+        "n_elements": mesh_t.n_elements,
+        "n_dof": st_t.n_dof,
+        "applies_per_mesh": k,
+        "setup_matrix_s": setup_matrix_s,
+        "setup_tensor_s": setup_tensor_s,
+        "apply_matrix_s": apply_matrix_s,
+        "apply_tensor_s": apply_tensor_s,
+        "raw_apply_ratio": apply_matrix_s / apply_tensor_s,
+        "amortized_matrix_s": amort_matrix,
+        "amortized_tensor_s": amort_tensor,
+        "amortized_speedup": amort_matrix / amort_tensor,
+        "parity_rel": parity,
+        "saddle_nnz": int(nnz),
+        "tensor_flops_per_apply": int(tensor_flops_n),
+        "matrix_flops_per_apply": int(matrix_flops_n),
+        "flop_ratio_matrix_over_tensor": matrix_flops_n / tensor_flops_n,
+        "tensor_apply_mdofs_per_s": st_t.n_dof / apply_tensor_s / 1e6,
+    }
+
+
+def bench_stokes_e2e(smoke: bool) -> dict:
+    """End-to-end MINRES Stokes solves, tensor vs matrix variant: the
+    residual histories must agree to ~1e-10 of the initial residual and
+    the solves report their wall-clock ratio."""
+    from ..fem import StokesSystem
+    from ..solvers import StokesBlockPreconditioner, minres
+
+    level = 2 if smoke else 3
+    tol = 1e-8
+    results = {}
+    for variant in ("matrix", "tensor"):
+        mesh = _matvec_mesh(level)
+        eta, bf = _matvec_problem(mesh)
+        t0 = time.perf_counter()
+        st = StokesSystem(mesh, eta, bf, bc="free_slip", variant=variant)
+        prec = StokesBlockPreconditioner(st)
+        res = minres(st.matvec, st.rhs(), M=prec.apply, tol=tol, maxiter=500)
+        wall = time.perf_counter() - t0
+        results[variant] = (res, wall, st)
+    res_m, wall_m, st_m = results["matrix"]
+    res_t, wall_t, st_t = results["tensor"]
+    hist_m = np.asarray(res_m.residuals)
+    hist_t = np.asarray(res_t.residuals)
+    npts = min(len(hist_m), len(hist_t))
+    hist_dev = float(
+        np.max(np.abs(hist_m[:npts] - hist_t[:npts])) / max(hist_m[0], 1e-300)
+    )
+    x_dev = float(
+        np.max(np.abs(res_m.x - res_t.x)) / max(np.max(np.abs(res_m.x)), 1e-300)
+    )
+    return {
+        "level": level,
+        "tol": tol,
+        "iterations_matrix": res_m.iterations,
+        "iterations_tensor": res_t.iterations,
+        "converged_matrix": bool(res_m.converged),
+        "converged_tensor": bool(res_t.converged),
+        "wall_matrix_s": wall_m,
+        "wall_tensor_s": wall_t,
+        "e2e_speedup": wall_m / wall_t,
+        "residual_history_max_dev": hist_dev,
+        "solution_max_rel_dev": x_dev,
+        "div_norm_tensor": st_t.velocity_divergence_norm(res_t.x),
+        "div_norm_matrix": st_m.velocity_divergence_norm(res_m.x),
+    }
+
+
+def bench_advection_rate(smoke: bool) -> dict:
+    """SUPG rate-operator apply, tensor vs assembled, on a fresh mesh."""
+    from ..fem import AdvectionDiffusion
+    from ..fem.matfree import advection_apply_flops
+
+    level = 2 if smoke else 3
+    reps = 5 if smoke else 50
+    mesh_t = _matvec_mesh(level)
+    rng = np.random.default_rng(2)
+    vel = rng.standard_normal((mesh_t.n_elements, 3))
+    T = rng.standard_normal(mesh_t.n_independent)
+
+    t0 = time.perf_counter()
+    eq_t = AdvectionDiffusion(mesh_t, 1e-3, vel, source=0.5, variant="tensor")
+    setup_tensor_s = time.perf_counter() - t0
+    rate_tensor_s = _time_repeat(lambda: eq_t.rate(T), reps)
+
+    mesh_m = _matvec_mesh(level)
+    t0 = time.perf_counter()
+    eq_m = AdvectionDiffusion(mesh_m, 1e-3, vel, source=0.5, variant="matrix")
+    setup_matrix_s = time.perf_counter() - t0
+    rate_matrix_s = _time_repeat(lambda: eq_m.rate(T), reps)
+
+    parity = float(
+        np.max(np.abs(eq_t.rate(T) - eq_m.rate(T)))
+        / max(np.max(np.abs(eq_m.rate(T))), 1e-300)
+    )
+    return {
+        "level": level,
+        "n_elements": mesh_t.n_elements,
+        "setup_matrix_s": setup_matrix_s,
+        "setup_tensor_s": setup_tensor_s,
+        "rate_matrix_s": rate_matrix_s,
+        "rate_tensor_s": rate_tensor_s,
+        "raw_rate_ratio": rate_matrix_s / rate_tensor_s,
+        "parity_rel": parity,
+        "tensor_flops_per_rate": int(advection_apply_flops(mesh_t.n_elements)),
+    }
+
+
+def bench_kernel_crossover(smoke: bool) -> dict:
+    """Section VII matrix-vs-tensor derivative kernel comparison: measured
+    throughput of the batched DerivativeKernel at several orders, the
+    analytic flop ratio, and the modeled-Ranger crossover order."""
+    from ..mangll.tensor import DerivativeKernel, matrix_flops, tensor_flops
+    from ..parallel.machine import RANGER
+
+    orders = [1, 2] if smoke else [1, 2, 4, 6]
+    ne = 8 if smoke else 64
+    reps = 3 if smoke else 10
+    per_order = {}
+    for p in orders:
+        kern = DerivativeKernel(p)
+        rng = np.random.default_rng(p)
+        u = rng.standard_normal((ne, (p + 1) ** 3))
+        t_mat = _time_repeat(lambda: kern.gradient_matrix(u), reps)
+        t_ten = _time_repeat(lambda: kern.gradient_tensor(u), reps)
+        per_order[str(p)] = {
+            "flops_matrix": matrix_flops(p) * ne,
+            "flops_tensor": tensor_flops(p) * ne,
+            "flop_ratio": matrix_flops(p) / tensor_flops(p),
+            "measured_matrix_s": t_mat,
+            "measured_tensor_s": t_ten,
+            "measured_matrix_gflops": matrix_flops(p) * ne / t_mat / 1e9,
+            "measured_tensor_gflops": tensor_flops(p) * ne / t_ten / 1e9,
+            "modeled_matrix_s": RANGER.t_element_kernel(p, "matrix", ne),
+            "modeled_tensor_s": RANGER.t_element_kernel(p, "tensor", ne),
+        }
+    modeled_crossover = next(
+        (
+            p
+            for p in range(1, 17)
+            if RANGER.t_element_kernel(p, "tensor", 1)
+            < RANGER.t_element_kernel(p, "matrix", 1)
+        ),
+        None,
+    )
+    return {
+        "n_elements": ne,
+        "orders": per_order,
+        "modeled_crossover_order": modeled_crossover,
+    }
+
+
+def run_matvec_suite(smoke: bool = False) -> dict:
+    out = {
+        "suite": "PR4 matrix-free apply engine",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    for name, fn in (
+        ("saddle_apply", bench_saddle_apply),
+        ("stokes_e2e", bench_stokes_e2e),
+        ("advection_rate", bench_advection_rate),
+        ("kernel_crossover", bench_kernel_crossover),
+    ):
+        t0 = time.perf_counter()
+        out["scenarios"][name] = fn(smoke)
+        out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+        print(f"[regress] {name}: {json.dumps(out['scenarios'][name])}", flush=True)
+    return out
+
+
 def run_suite(smoke: bool = False) -> dict:
     out = {
         "suite": "PR1 setup amortization",
@@ -304,7 +561,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=["tentpole", "checkpoint"],
+        choices=["tentpole", "checkpoint", "matvec"],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
     )
@@ -318,18 +575,28 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
     if args.out is None:
-        stem = "tentpole" if args.suite == "tentpole" else "checkpoint"
+        stem = args.suite
         args.out = f"BENCH_{stem}_smoke.json" if args.smoke else f"BENCH_{stem}.json"
         if args.suite == "tentpole" and args.smoke:
             args.out = "BENCH_smoke.json"  # historical name, used by CI
     if args.suite == "checkpoint":
         result = run_checkpoint_suite(smoke=args.smoke)
+    elif args.suite == "matvec":
+        result = run_matvec_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2)
     print(f"[regress] wrote {args.out}")
-    if args.suite == "tentpole":
+    if args.suite == "matvec":
+        sa = result["scenarios"]["saddle_apply"]
+        ee = result["scenarios"]["stokes_e2e"]
+        print(
+            f"[regress] saddle amortized speedup {sa['amortized_speedup']:.2f}x "
+            f"(raw apply ratio {sa['raw_apply_ratio']:.2f}x), "
+            f"e2e residual-history max dev {ee['residual_history_max_dev']:.2e}"
+        )
+    elif args.suite == "tentpole":
         sr = result["scenarios"]["stokes_repeat"]
         print(
             f"[regress] stokes_repeat speedup {sr['speedup']:.2f}x "

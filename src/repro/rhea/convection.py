@@ -84,6 +84,10 @@ class RheaConfig:
     prec_lag_rtol: float | None = 0.3
     #: warm-start MINRES from the previous velocity/pressure solution
     warm_start: bool = True
+    #: element-apply kernel for the MINRES and SUPG hot loops:
+    #: ``"tensor"`` (matrix-free sum-factorized, Section VII) or
+    #: ``"matrix"`` (legacy assembled CSR)
+    fem_variant: str = "tensor"
 
 
 @dataclass
@@ -197,7 +201,10 @@ class MantleConvection:
             eta = cfg.viscosity(T_e, z_e, edot)
             self.eta_elem = eta
             self.edot_elem = edot
-            st = StokesSystem(mesh, eta, self._body_force(), bc=cfg.velocity_bc)
+            st = StokesSystem(
+                mesh, eta, self._body_force(), bc=cfg.velocity_bc,
+                variant=cfg.fem_variant,
+            )
             if self._prec_lag is not None:
                 prec = self._prec_lag.get(st)
             else:
@@ -262,6 +269,7 @@ class MantleConvection:
         eq = AdvectionDiffusion(
             self.mesh, cfg.kappa, vel_e, source=cfg.gamma,
             dirichlet=[(2, 0, 1.0), (2, 1, 0.0)],  # hot bottom, cold top
+            variant=cfg.fem_variant,
         )
         dt = eq.cfl_dt(cfg.cfl)
         T_ind = self.T[self.mesh.indep_nodes]

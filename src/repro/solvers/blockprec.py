@@ -15,10 +15,16 @@ problem size — the Figure-2 result.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..fem.stokes import StokesSystem
 from .amg import SmoothedAggregationAMG
+
+if TYPE_CHECKING:  # import is type-only: fem.stokes imports solvers-adjacent
+    # modules through mangll, and a runtime import here would close that
+    # cycle during package initialization
+    from ..fem.stokes import StokesSystem
 
 __all__ = ["StokesBlockPreconditioner", "LaggedStokesPreconditioner"]
 

@@ -1,0 +1,259 @@
+"""Parity and accounting tests for the matrix-free apply engine.
+
+The tensor-variant applies must agree with the assembled-CSR operators to
+machine precision (the 2-point Gauss rule is exact for every Q1
+integrand), on hanging-node meshes, under both BC kinds, and across
+extreme viscosity contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem import AdvectionDiffusion, StokesSystem, assemble_scalar, lumped_mass
+from repro.fem.hexops import ElementOps
+from repro.fem.matfree import (
+    MatFreeAdvectionOperator,
+    MatFreeStokesOperator,
+    advection_apply_flops,
+    apply_scalar_mass,
+    csr_apply_flops,
+    lumped_scalar_mass,
+    saddle_apply_bytes,
+    saddle_apply_flops,
+)
+from repro.mangll.tensor import (
+    matrix_bytes,
+    matrix_flops,
+    tensor_bytes,
+    tensor_flops,
+)
+from repro.mesh import extract_mesh
+from repro.parallel.machine import RANGER
+from repro.octree import LinearOctree, balance
+
+_OPS = ElementOps()
+
+
+def make_mesh(level=2, seed=0, domain=(1.0, 1.0, 1.0)):
+    tree = LinearOctree.uniform(level)
+    rng = np.random.default_rng(seed)
+    tree = tree.refine(rng.random(len(tree)) < 0.25)
+    tree = balance(tree, "corner").tree
+    return extract_mesh(tree, domain)
+
+
+def viscosity(mesh, contrast):
+    if contrast == 1.0:
+        return np.ones(mesh.n_elements)
+    rng = np.random.default_rng(7)
+    return np.exp(rng.uniform(0.0, np.log(contrast), mesh.n_elements))
+
+
+def saddle_pair(mesh, bc, eta):
+    st_m = StokesSystem(mesh, eta, bc=bc, variant="matrix")
+    st_t = StokesSystem(mesh, eta, bc=bc, variant="tensor")
+    return st_m, st_t
+
+
+@pytest.mark.parametrize("bc", ["free_slip", "no_slip"])
+@pytest.mark.parametrize("contrast", [1.0, 1e6])
+def test_saddle_apply_parity(bc, contrast):
+    mesh = make_mesh(level=2)
+    eta = viscosity(mesh, contrast)
+    st_m, st_t = saddle_pair(mesh, bc, eta)
+    x = np.random.default_rng(1).standard_normal(st_m.n_dof)
+    ref = st_m.matvec(x)
+    got = st_t.matvec(x)
+    assert np.max(np.abs(got - ref)) <= 1e-12 * np.max(np.abs(ref))
+
+
+def test_saddle_parity_anisotropic_domain():
+    mesh = make_mesh(level=3, seed=3, domain=(1.0, 1.3, 0.7))
+    eta = viscosity(mesh, 1e4)
+    st_m, st_t = saddle_pair(mesh, "free_slip", eta)
+    x = np.random.default_rng(2).standard_normal(st_m.n_dof)
+    ref = st_m.matvec(x)
+    assert np.max(np.abs(st_t.matvec(x) - ref)) <= 1e-12 * np.max(np.abs(ref))
+
+
+def test_divergence_and_schur_parity():
+    mesh = make_mesh(level=2, seed=1)
+    eta = viscosity(mesh, 1e6)
+    st_m, st_t = saddle_pair(mesh, "free_slip", eta)
+    x = np.random.default_rng(3).standard_normal(st_m.n_dof)
+    assert np.isclose(
+        st_t.velocity_divergence_norm(x), st_m.velocity_divergence_norm(x),
+        rtol=1e-12,
+    )
+    d_m = st_m.schur_diagonal()
+    d_t = st_t.schur_diagonal()
+    np.testing.assert_allclose(d_t, d_m, rtol=1e-12)
+
+
+def test_tensor_mode_skips_saddle_assembly():
+    mesh = make_mesh(level=2)
+    st = StokesSystem(mesh, viscosity(mesh, 1.0), variant="tensor")
+    assert st.matfree is not None
+    assert st._A is None and st._C is None and st._B is None
+    x = np.random.default_rng(0).standard_normal(st.n_dof)
+    st.matvec(x)
+    assert st._A is None  # matvec must not trigger assembly
+    # lazy blocks still available for AMG / legacy consumers
+    assert st.A.shape == (st.n_u, st.n_u)
+    assert st.C.shape == (st.n_p, st.n_p)
+
+
+def test_dirichlet_rows_are_identity():
+    mesh = make_mesh(level=2)
+    st = StokesSystem(mesh, viscosity(mesh, 100.0), bc="no_slip", variant="tensor")
+    x = np.random.default_rng(4).standard_normal(st.n_dof)
+    out = st.matvec(x)
+    np.testing.assert_allclose(out[st.bc.dofs], x[st.bc.dofs], rtol=0, atol=0)
+
+
+def test_rhs_dirichlet_zeroed_matches_matrix_path():
+    mesh = make_mesh(level=2)
+    rng = np.random.default_rng(5)
+    bf = rng.standard_normal((mesh.n_nodes, 3))
+    eta = viscosity(mesh, 10.0)
+    st_m = StokesSystem(mesh, eta, bf, bc="free_slip", variant="matrix")
+    st_t = StokesSystem(mesh, eta, bf, bc="free_slip", variant="tensor")
+    np.testing.assert_allclose(st_t.rhs(), st_m.rhs(), rtol=0, atol=1e-14)
+
+
+def test_supg_rate_parity():
+    mesh = make_mesh(level=2, seed=2)
+    rng = np.random.default_rng(6)
+    vel = rng.standard_normal((mesh.n_elements, 3))
+    eq_m = AdvectionDiffusion(mesh, 1e-3, vel, source=0.7,
+                              dirichlet=[(2, 0, 1.0), (2, 1, 0.0)],
+                              variant="matrix")
+    eq_t = AdvectionDiffusion(mesh, 1e-3, vel, source=0.7,
+                              dirichlet=[(2, 0, 1.0), (2, 1, 0.0)],
+                              variant="tensor")
+    T = rng.standard_normal(mesh.n_independent)
+    ref = eq_m.rate(T)
+    got = eq_t.rate(T)
+    assert np.max(np.abs(got - ref)) <= 1e-12 * max(np.max(np.abs(ref)), 1e-30)
+    # one full Heun step through the tensor path
+    np.testing.assert_allclose(
+        eq_t.step(T, 1e-4), eq_m.step(T, 1e-4), rtol=0, atol=1e-12
+    )
+
+
+def test_scalar_mass_parity_plain_and_supg():
+    mesh = make_mesh(level=2, seed=4)
+    sizes = mesh.element_sizes()
+    rng = np.random.default_rng(8)
+    coeff = np.exp(rng.standard_normal(mesh.n_elements))
+    x = rng.standard_normal(mesh.n_independent)
+    M = assemble_scalar(mesh, _OPS.mass(sizes, coeff))
+    np.testing.assert_allclose(
+        apply_scalar_mass(mesh, x, coeff), M @ x, rtol=0,
+        atol=1e-13 * np.max(np.abs(M @ x)),
+    )
+    vel = rng.standard_normal((mesh.n_elements, 3))
+    tau = np.abs(rng.standard_normal(mesh.n_elements))
+    # supg_mass is linear in the velocity, so tau*coeff folds into it
+    supg_e = _OPS.supg_mass(sizes, vel * (tau * coeff)[:, None])
+    Ms = assemble_scalar(mesh, _OPS.mass(sizes, coeff) + supg_e)
+    got = apply_scalar_mass(mesh, x, coeff, supg_vel=vel, supg_tau=tau)
+    assert np.max(np.abs(got - Ms @ x)) <= 1e-12 * np.max(np.abs(Ms @ x))
+    np.testing.assert_allclose(
+        lumped_scalar_mass(mesh, coeff), lumped_mass(mesh, _OPS.mass(sizes, coeff)),
+        rtol=1e-12,
+    )
+
+
+def test_operator_objects_are_rebindable():
+    mesh = make_mesh(level=2)
+    eta = viscosity(mesh, 1.0)
+    st_m = StokesSystem(mesh, eta, bc="free_slip", variant="matrix")
+    mf = MatFreeStokesOperator(mesh, eta, "free_slip", st_m.bc.dofs)
+    eta2 = viscosity(mesh, 1e3)
+    mf.update_viscosity(eta2)
+    st_m2 = StokesSystem(mesh, eta2, bc="free_slip", variant="matrix")
+    x = np.random.default_rng(9).standard_normal(st_m.n_dof)
+    ref = st_m2.matvec(x)
+    assert np.max(np.abs(mf.apply(x) - ref)) <= 1e-12 * np.max(np.abs(ref))
+
+
+def test_flop_accounting_sane():
+    ne = 1000
+    assert saddle_apply_flops(ne) == saddle_apply_flops(1) * ne
+    assert advection_apply_flops(ne) == advection_apply_flops(1) * ne
+    assert csr_apply_flops(12345) == 2 * 12345
+    # at the default discretization the assembled saddle has ~190 nnz per
+    # element row-block; the tensor kernel trades those sparse flops for
+    # ~2.7k dense flops per element
+    assert 2000 <= saddle_apply_flops(1) <= 4000
+    assert saddle_apply_bytes(ne, gather_nnz=40 * ne) > 0
+
+
+def test_variant_validation():
+    mesh = make_mesh(level=2)
+    with pytest.raises(ValueError, match="variant"):
+        StokesSystem(mesh, viscosity(mesh, 1.0), variant="banana")
+    with pytest.raises(ValueError, match="variant"):
+        AdvectionDiffusion(mesh, 1.0, np.zeros((mesh.n_elements, 3)),
+                           variant="banana")
+
+
+def test_advection_operator_direct_apply_matches_assembled():
+    mesh = make_mesh(level=3, seed=5)
+    rng = np.random.default_rng(10)
+    vel = rng.standard_normal((mesh.n_elements, 3))
+    eq_m = AdvectionDiffusion(mesh, 0.02, vel, variant="matrix")
+    op = MatFreeAdvectionOperator(mesh, 0.02, vel, eq_m.tau)
+    T = rng.standard_normal(mesh.n_independent)
+    ref = eq_m.A @ T
+    assert np.max(np.abs(op.apply(T) - ref)) <= 1e-12 * np.max(np.abs(ref))
+
+
+# -- Section VII kernel-count model -------------------------------------------
+
+
+def test_kernel_flop_counts_match_paper():
+    # Section VII: matrix-based gradient costs 6(p+1)^6 flops/element,
+    # sum-factorized costs 6(p+1)^4; the ratio is (p+1)^2.
+    for p in (1, 2, 4, 6, 8):
+        n1 = p + 1
+        assert matrix_flops(p) == 6 * n1**6
+        assert tensor_flops(p) == 6 * n1**4
+        assert matrix_flops(p) == tensor_flops(p) * n1**2
+
+
+def test_kernel_bytes_model():
+    # both kernels stream one field read and one gradient write per axis;
+    # the dense operator / 1-D factors are cache-resident and not charged
+    for p in (1, 2, 4):
+        assert matrix_bytes(p) == tensor_bytes(p) == 8 * 6 * (p + 1) ** 3
+
+
+def test_machine_model_crossover_in_paper_band():
+    # With Ranger's observed sustained rates (~4.4 Gflop/s dense vs an
+    # order of magnitude less for short tensor contractions), the modeled
+    # crossover must land between p = 2 and p = 4 as reported on Ranger.
+    ne = 1024
+    t2_m = RANGER.t_element_kernel(2, "matrix", ne)
+    t2_t = RANGER.t_element_kernel(2, "tensor", ne)
+    t4_m = RANGER.t_element_kernel(4, "matrix", ne)
+    t4_t = RANGER.t_element_kernel(4, "tensor", ne)
+    assert t2_m <= t2_t  # matrix kernel wins at low order
+    assert t4_t <= t4_m  # tensor kernel wins at high order
+
+
+def test_machine_model_uses_selected_variant_counts():
+    # in the compute-bound regime the modeled time must equal the selected
+    # variant's flop count divided by that variant's sustained rate
+    ne = 1
+    p = 6
+    t_m = RANGER.t_element_kernel(p, "matrix", ne)
+    t_t = RANGER.t_element_kernel(p, "tensor", ne)
+    assert t_m >= matrix_flops(p) * ne / RANGER.flop_rate_dense * (1 - 1e-12)
+    assert t_t >= tensor_flops(p) * ne / RANGER.flop_rate_tensor * (1 - 1e-12)
+    # and never below the streaming bound
+    assert t_m >= RANGER.t_stream(matrix_bytes(p) * ne)
+    assert t_t >= RANGER.t_stream(tensor_bytes(p) * ne)
+    with pytest.raises(ValueError, match="variant"):
+        RANGER.t_element_kernel(2, "banana", 1)
