@@ -10,7 +10,12 @@ state (fields, counters, diagnostics, warm-start data) every N cycles
 into ``--checkpoint-dir``; ``--resume`` continues from the newest
 checkpoint there with a bitwise-identical trajectory.
 
-Run:  python examples/mantle_yielding.py [--checkpoint-every N] [--resume]
+Observability (see OBSERVABILITY.md): ``--trace trace.json`` writes a
+Chrome-trace timeline of the AMR / Stokes / advection phases;
+``--report report.md`` writes the Table IV-style breakdown with solver
+counters (MINRES iterations, AMG setups, cache hits).
+
+Run:  python examples/mantle_yielding.py [--trace T] [--report R]
 """
 
 import argparse
@@ -47,8 +52,12 @@ def make_config(initial_level=3, max_level=6, target_elements=1400):
 
 
 def main(cycles=4, checkpoint_every=None, checkpoint_dir="checkpoints_yielding",
-         resume=False, initial_level=3, max_level=6, target_elements=1400):
+         resume=False, initial_level=3, max_level=6, target_elements=1400,
+         trace=None, report=None):
+    from repro import obs
+
     cfg = make_config(initial_level, max_level, target_elements)
+    timer = obs.enable() if (trace is not None or report is not None) else None
     checkpoint = None
     if checkpoint_every:
         from repro.checkpoint import Checkpointer
@@ -87,6 +96,19 @@ def main(cycles=4, checkpoint_every=None, checkpoint_dir="checkpoints_yielding",
           f"{8 ** int(levels.max()):,} elements "
           f"({8 ** int(levels.max()) / sim.mesh.n_elements:.0f}x more)")
 
+    if timer is not None:
+        obs.disable()
+        if trace is not None:
+            obs.chrome_trace([timer], trace)
+            print(f"chrome trace written to {trace!r} "
+                  "(open at https://ui.perfetto.dev)")
+        if report is not None:
+            rep = obs.generate_report([timer.results()], executed_ranks=1)
+            with open(report, "w", encoding="utf-8") as f:
+                f.write(obs.markdown_report(rep) + "\n")
+            print(f"phase report written to {report!r} "
+                  f"(Stokes fraction {100 * rep['fractions']['stokes']:.1f}%)")
+
 
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -98,6 +120,11 @@ if __name__ == "__main__":
                     help="checkpoint root directory (default checkpoints_yielding)")
     ap.add_argument("--resume", action="store_true",
                     help="resume from the newest checkpoint in --checkpoint-dir")
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a Chrome-trace JSON timeline (Perfetto)")
+    ap.add_argument("--report", default=None, metavar="PATH",
+                    help="write the Table IV-style phase report (markdown)")
     args = ap.parse_args()
     main(cycles=args.cycles, checkpoint_every=args.checkpoint_every,
-         checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+         trace=args.trace, report=args.report)

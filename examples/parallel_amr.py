@@ -11,7 +11,12 @@ state every N cycles into ``--checkpoint-dir``; ``--resume`` restarts
 from the newest checkpoint there — on *any* rank count, since shards
 concatenate along the Morton curve and repartition on load.
 
-Run:  python examples/parallel_amr.py [P] [--checkpoint-every N] [--resume]
+Observability (see OBSERVABILITY.md): ``--trace trace.json`` writes a
+Chrome-trace timeline (one track per rank, open at
+https://ui.perfetto.dev); ``--report report.md`` writes the paper's
+Table IV-style per-phase breakdown.
+
+Run:  python examples/parallel_amr.py [P] [--trace T] [--report R]
 """
 
 import argparse
@@ -21,8 +26,11 @@ from repro.parallel import run_spmd_with_comms
 
 
 def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
-         resume=False, target=600, max_level=6):
+         resume=False, target=600, max_level=6, trace=None, report=None):
+    from repro import obs
+
     workload = RotatingFrontWorkload(velocity=rotating_velocity(scale=3.0))
+    observe = trace is not None or report is not None
     checkpoint = None
     if checkpoint_every:
         from repro.checkpoint import Checkpointer
@@ -30,6 +38,7 @@ def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
         checkpoint = Checkpointer(checkpoint_dir, every=checkpoint_every)
 
     def kernel(comm):
+        timer = obs.enable(comm) if observe else None
         if resume:
             pipe = ParAmrPipeline.resume_from(comm, checkpoint_dir, workload=workload)
         else:
@@ -43,6 +52,8 @@ def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
             pipe.cycles_done += 1
             if checkpoint is not None and checkpoint.due(pipe.cycles_done):
                 checkpoint.save_pipeline(pipe)
+        if timer is not None:
+            obs.disable()
         # collect global quantities while the SPMD world is still alive
         # (collectives cannot be issued after run_spmd returns)
         return {
@@ -54,6 +65,8 @@ def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
             "timings": pipe.timing_breakdown(),
             "amr_fraction": pipe.amr_fraction(),
             "history": pipe.adapt_history,
+            "phase_results": timer.results() if timer is not None else None,
+            "trace_data": timer.trace_data() if timer is not None else None,
         }
 
     print(f"running the SPMD AMR pipeline on {p} simulated ranks ...")
@@ -83,6 +96,19 @@ def main(p=4, cycles=3, checkpoint_every=None, checkpoint_dir="checkpoints_amr",
     print(f"\nrank-0 communication: {s.total_collective_calls} collectives, "
           f"{s.p2p_messages} p2p messages, {s.total_bytes / 1e6:.2f} MB total")
 
+    if trace is not None:
+        obs.chrome_trace([r["trace_data"] for r in results], trace)
+        print(f"chrome trace written to {trace!r} "
+              "(open at https://ui.perfetto.dev)")
+    if report is not None:
+        rep = obs.generate_report(
+            [r["phase_results"] for r in results], executed_ranks=p
+        )
+        with open(report, "w", encoding="utf-8") as f:
+            f.write(obs.markdown_report(rep) + "\n")
+        print(f"phase report written to {report!r} "
+              f"(AMR fraction {100 * rep['amr_fraction']:.1f}%)")
+
 
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -96,6 +122,11 @@ if __name__ == "__main__":
                     help="checkpoint root directory (default checkpoints_amr)")
     ap.add_argument("--resume", action="store_true",
                     help="resume from the newest checkpoint in --checkpoint-dir")
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a Chrome-trace JSON timeline (Perfetto)")
+    ap.add_argument("--report", default=None, metavar="PATH",
+                    help="write the Table IV-style phase report (markdown)")
     args = ap.parse_args()
     main(args.ranks, cycles=args.cycles, checkpoint_every=args.checkpoint_every,
-         checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+         trace=args.trace, report=args.report)

@@ -33,9 +33,22 @@ mangll:
 amr:
     The end-to-end adaptation pipeline of Figure 4 with per-function
     timing breakdowns.
+analysis:
+    Correctness tooling: the SPMD static linter (rules R1-R6), runtime
+    sanitizers (CheckedComm, freeze guards, delivery fuzzer), and the
+    markdown link checker run by the docs CI.
+checkpoint:
+    Rank-sharded checkpoint/restart: self-describing manifests,
+    digest-verified shards, resume onto any rank count via Morton-curve
+    repartition.
 perf:
-    Scaling-experiment harnesses and table formatters for the paper's
-    figures.
+    Scaling-experiment harnesses, table formatters for the paper's
+    figures, and the ``regress`` benchmark suites behind the
+    ``BENCH_*.json`` artifacts.
+obs:
+    Observability: hierarchical per-rank phase timers with
+    communication attribution, Chrome-trace export, and the paper's
+    Table IV-VI-style report generator (see OBSERVABILITY.md).
 """
 
 __version__ = "0.1.0"

@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..fem import ParAdvectionDiffusion
 from ..mesh.parmesh import ParMesh, extract_parmesh, par_interpolate_at
 from ..octree import morton_encode, new_tree
@@ -162,58 +163,69 @@ class ParAmrPipeline:
         n_before = self.pt.global_count()
 
         t0 = time.perf_counter()
-        mark = mark_elements(
-            eta,
-            self.pt.levels.astype(np.int64),
-            target,
-            comm=comm,
-            min_level=self.min_level,
-            max_level=self.max_level,
-        )
+        with obs.phase("amr/mark"):
+            mark = mark_elements(
+                eta,
+                self.pt.levels.astype(np.int64),
+                target,
+                comm=comm,
+                min_level=self.min_level,
+                max_level=self.max_level,
+            )
         self._tic("MarkElements", t0)
 
         t0 = time.perf_counter()
-        coarsen_mask = mark.coarsen & ~mark.refine
-        pt, nfam = coarsen_tree(self.pt, coarsen_mask)
+        with obs.phase("amr/coarsen"):
+            coarsen_mask = mark.coarsen & ~mark.refine
+            pt, nfam = coarsen_tree(self.pt, coarsen_mask)
+            obs.counter("elements_coarsened", 8 * nfam)
         self._tic("CoarsenTree", t0)
 
         t0 = time.perf_counter()
-        # relocate refine marks on the coarsened local tree
-        ref = self.pt.local[mark.refine]
-        mask = np.zeros(len(pt), dtype=bool)
-        if len(ref):
-            h = ref.lengths()
-            keys = morton_encode(ref.x + h // 2, ref.y + h // 2, ref.z + h // 2)
-            idx = np.searchsorted(pt.keys, keys, side="right") - 1
-            mask[idx] = True
-        n_refined = comm.allreduce(int(mask.sum()))
-        pt = refine_tree(pt, mask)
+        with obs.phase("amr/refine"):
+            # relocate refine marks on the coarsened local tree
+            ref = self.pt.local[mark.refine]
+            mask = np.zeros(len(pt), dtype=bool)
+            if len(ref):
+                h = ref.lengths()
+                keys = morton_encode(ref.x + h // 2, ref.y + h // 2, ref.z + h // 2)
+                idx = np.searchsorted(pt.keys, keys, side="right") - 1
+                mask[idx] = True
+            n_refined = comm.allreduce(int(mask.sum()))
+            pt = refine_tree(pt, mask)
+            obs.counter("elements_marked_refine", int(mask.sum()))
         self._tic("RefineTree", t0)
 
         t0 = time.perf_counter()
-        pt, added, _ = balance_tree(pt, self.connectivity)
+        with obs.phase("amr/balance"):
+            pt, added, _ = balance_tree(pt, self.connectivity)
+            obs.counter("balance_added", added)
         self._tic("BalanceTree", t0)
 
         t0 = time.perf_counter()
-        pt, plan = partition_tree(pt)
+        with obs.phase("amr/partition"):
+            pt, plan = partition_tree(pt)
         self._tic("PartitionTree", t0)
 
         t0 = time.perf_counter()
-        pm = extract_parmesh(pt)
+        with obs.phase("amr/extract_mesh"):
+            pm = extract_parmesh(pt)
         self._tic("ExtractMesh", t0)
 
         t0 = time.perf_counter()
-        new_coords = pm.mesh.node_coords()
-        vals = par_interpolate_at(old_pm, old_markers, u_full_old, new_coords)
-        self.T = vals[pm.mesh.indep_nodes]
+        with obs.phase("amr/interpolate"):
+            new_coords = pm.mesh.node_coords()
+            vals = par_interpolate_at(old_pm, old_markers, u_full_old, new_coords)
+            self.T = vals[pm.mesh.indep_nodes]
         self._tic("InterpolateFields", t0)
 
         t0 = time.perf_counter()
-        # TRANSFERFIELDS: per-element data rides the partition plan (here:
-        # the post-adaptation error indicator placeholder, exercising the
-        # same code path the paper times)
-        elem_payload = np.zeros((plan.send_slices[-1][1], 1))
-        plan.transfer(comm, elem_payload)
+        with obs.phase("amr/transfer"):
+            # TRANSFERFIELDS: per-element data rides the partition plan (here:
+            # the post-adaptation error indicator placeholder, exercising the
+            # same code path the paper times)
+            elem_payload = np.zeros((plan.send_slices[-1][1], 1))
+            plan.transfer(comm, elem_payload)
         self._tic("TransferFields", t0)
 
         self.pt, self.pm = pt, pm
@@ -236,11 +248,13 @@ class ParAmrPipeline:
 
     def advance(self, n_steps: int, cfl: float = 0.4) -> float:
         t0 = time.perf_counter()
-        eq = ParAdvectionDiffusion(
-            self.pm, self.workload.kappa, self.workload.velocity
-        )
-        dt = eq.cfl_dt(cfl)
-        self.T = eq.advance(self.T, dt, n_steps)
+        with obs.phase("advection"):
+            eq = ParAdvectionDiffusion(
+                self.pm, self.workload.kappa, self.workload.velocity
+            )
+            dt = eq.cfl_dt(cfl)
+            self.T = eq.advance(self.T, dt, n_steps)
+            obs.counter("advection_steps", n_steps)
         self.steps_taken += n_steps
         self.sim_time += n_steps * dt
         self._tic("TimeIntegration", t0)
@@ -253,7 +267,9 @@ class ParAmrPipeline:
         dt = eq.cfl_dt(cfl)
         n = max(int(np.ceil(t_span / dt)), 1)
         t0 = time.perf_counter()
-        self.T = eq.advance(self.T, t_span / n, n)
+        with obs.phase("advection"):
+            self.T = eq.advance(self.T, t_span / n, n)
+            obs.counter("advection_steps", n)
         self.steps_taken += n
         self.sim_time += n * (t_span / n)
         self._tic("TimeIntegration", t0)

@@ -4,7 +4,7 @@ Generic linters cannot know that ``comm.allreduce`` must be reached by
 every rank, that values handed out by :mod:`repro.mesh.opcache` are
 shared and must never be written in place, or that the PR-1 vectorized
 kernels must not regrow per-element Python loops.  This module encodes
-those invariants as five rules:
+those invariants as six rules:
 
 R1  **collective symmetry** — a collective call (``allreduce``,
     ``allgather``, ``alltoall``, ``barrier``, ``bcast``, ``exscan``,
@@ -38,6 +38,13 @@ R5  **serialization determinism** (``checkpoint/`` only) — iteration
     statements or comprehensions) not wrapped in ``sorted(...)``.
     Checkpoint bytes and digests must not depend on dict insertion
     order, which varies with code path and restart history.
+
+R6  **public-API docstrings** (documented packages ``obs/``, ``perf/``,
+    ``checkpoint/`` only) — a module, top-level public class/function,
+    or public method of a public class without a docstring.  Names
+    starting with ``_`` (including dunders) and anything nested inside
+    a function are exempt.  These packages are the user-facing
+    instrumentation surface; their API reference is the docstrings.
 
 Suppression and baselining
 --------------------------
@@ -88,6 +95,7 @@ RULES = {
     "R3": "missing explicit dtype / float32-float64 mixing in hot path",
     "R4": "per-element Python loop in a vectorized hot module",
     "R5": "unordered dict iteration while serializing state",
+    "R6": "missing docstring on a public symbol in a documented package",
 }
 
 #: methods on a communicator that every rank must call collectively
@@ -125,6 +133,11 @@ R4_MODULES = {"assembly", "amg", "dg", "transfer", "matfree"}
 #: path fragments where R5 (serialization determinism) is enforced —
 #: the state-serializing subsystem, where byte layout = dict order
 R5_PACKAGES = ("checkpoint",)
+
+#: path fragments where R6 (public-API docstrings) is enforced — the
+#: user-facing instrumentation packages whose reference docs *are* the
+#: docstrings (see OBSERVABILITY.md)
+R6_PACKAGES = ("obs", "perf", "checkpoint")
 
 #: dict-view methods whose iteration order is insertion order
 DICT_VIEW_METHODS = {"items", "keys", "values"}
@@ -368,9 +381,12 @@ class _FileLinter(ast.NodeVisitor):
         stem = Path(norm).stem
         self.r4_active = stem in R4_MODULES
         self.r5_active = any(p in parts for p in R5_PACKAGES)
+        self.r6_active = any(p in parts for p in R6_PACKAGES)
         # stack of rank-dependent control constructs (kind, line)
         self._ctrl: list[tuple[str, int]] = []
         self._scope = _Scope(set(), set(), set(), set(), set())
+        # R6 context: (container kind, is a checked public surface)
+        self._doc_ctx: list[tuple[str, bool]] = [("module", True)]
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -392,9 +408,39 @@ class _FileLinter(ast.NodeVisitor):
             )
         )
 
+    # -- R6: public-API docstrings -----------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self.r6_active and ast.get_docstring(node) is None:
+            self._emit(node, "R6", "missing module docstring")
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        public = self._doc_ctx[-1][1] and not node.name.startswith("_")
+        if self.r6_active and public and ast.get_docstring(node) is None:
+            self._emit(node, "R6", f"public class '{node.name}' missing docstring")
+        self._doc_ctx.append(("class", public))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._doc_ctx.pop()
+
+    def _check_def_docstring(self, node) -> None:
+        kind, checked = self._doc_ctx[-1]
+        if (
+            self.r6_active
+            and checked
+            and not node.name.startswith("_")
+            and ast.get_docstring(node) is None
+        ):
+            what = "method" if kind == "class" else "function"
+            self._emit(node, "R6", f"public {what} '{node.name}' missing docstring")
+
     # -- functions get fresh (inherited) state -----------------------------
 
     def _visit_function(self, node) -> None:
+        self._check_def_docstring(node)
+        self._doc_ctx.append(("func", False))
         outer = self._scope
         self._scope = _Scope(
             tainted=set(outer.tainted),
@@ -407,8 +453,11 @@ class _FileLinter(ast.NodeVisitor):
         for arg in list(node.args.args) + list(node.args.kwonlyargs):
             if "cache" in arg.arg.lower():
                 self._scope.handles.add(arg.arg)
-        self.generic_visit(node)
-        self._scope = outer
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scope = outer
+            self._doc_ctx.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
@@ -733,7 +782,7 @@ def apply_baseline(findings: list[Finding], baseline: Counter) -> list[Finding]:
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="SPMD correctness linter (rules R1-R5) for this repository.",
+        description="SPMD correctness linter (rules R1-R6) for this repository.",
     )
     ap.add_argument("paths", nargs="*", default=["src"], help="files or trees to lint")
     ap.add_argument(

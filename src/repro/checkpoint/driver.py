@@ -68,14 +68,26 @@ class Checkpointer:
         )
 
     def due(self, cycles_done: int) -> bool:
+        """True when ``cycles_done`` completed cycles call for a
+        snapshot (every ``self.every``-th cycle; never at cycle 0).
+
+        Example::
+
+            Checkpointer("ckpt", every=3).due(6)   # True
+        """
         return self.every > 0 and cycles_done > 0 and cycles_done % self.every == 0
 
     def save_pipeline(self, pipe) -> str:
+        """Snapshot a :class:`~repro.amr.ParAmrPipeline` (collective —
+        every rank must call it) and return the step directory path."""
         self.last_path = save_pipeline(pipe, self.directory, keep=self.keep)
         self.n_saved += 1
         return self.last_path
 
     def save_convection(self, sim) -> str:
+        """Snapshot a serial :class:`~repro.rhea.MantleConvection`
+        (optionally with solver warm-start state) and return the step
+        directory path."""
         self.last_path = save_convection(
             sim,
             self.directory,

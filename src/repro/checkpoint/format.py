@@ -98,10 +98,14 @@ class ShardIntegrityError(CheckpointError):
 
 
 def shard_name(rank: int) -> str:
+    """Shard filename of one rank: ``shard_0007.bin`` for rank 7."""
     return f"shard_{rank:04d}.bin"
 
 
 def step_dirname(step: int) -> str:
+    """Checkpoint directory name of one step: ``step_00000042``.
+
+    Zero-padded so lexicographic order equals step order."""
     if step < 0:
         raise ValueError(f"step must be >= 0, got {step}")
     return f"step_{step:08d}"
@@ -133,9 +137,11 @@ class ArrayEntry:
 
     @property
     def nbytes(self) -> int:
+        """Byte length of the array payload inside the shard."""
         return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
 
     def to_json(self) -> dict:
+        """JSON-serializable dict for the manifest."""
         return {
             "name": self.name,
             "dtype": self.dtype,
@@ -145,6 +151,7 @@ class ArrayEntry:
 
     @classmethod
     def from_json(cls, d: dict) -> "ArrayEntry":
+        """Inverse of :meth:`to_json`."""
         return cls(
             name=d["name"],
             dtype=d["dtype"],
@@ -167,6 +174,7 @@ class ShardInfo:
     frozen: str | None = None
 
     def to_json(self) -> dict:
+        """JSON-serializable dict for the manifest."""
         out = {
             "file": self.file,
             "nbytes": self.nbytes,
@@ -179,6 +187,7 @@ class ShardInfo:
 
     @classmethod
     def from_json(cls, d: dict) -> "ShardInfo":
+        """Inverse of :meth:`to_json`."""
         return cls(
             file=d["file"],
             nbytes=int(d["nbytes"]),
@@ -200,6 +209,7 @@ class Manifest:
     version: int = FORMAT_VERSION
 
     def to_json(self) -> dict:
+        """JSON-serializable dict, including format name and version."""
         return {
             "format": FORMAT_NAME,
             "version": self.version,
@@ -212,6 +222,8 @@ class Manifest:
 
     @classmethod
     def from_json(cls, d: dict) -> "Manifest":
+        """Parse and validate a manifest dict (format name must match,
+        version must not be newer than this reader supports)."""
         if d.get("format") != FORMAT_NAME:
             raise ManifestError(
                 f"not a {FORMAT_NAME} manifest (format={d.get('format')!r})"
@@ -307,6 +319,8 @@ def read_shard(directory: str, info: ShardInfo, verify: bool = True) -> dict:
 
 
 def write_manifest(directory: str, manifest: Manifest) -> str:
+    """Atomically write ``manifest.json`` into ``directory`` (tmp file +
+    ``os.replace``) and return its path."""
     path = os.path.join(directory, MANIFEST_NAME)
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -317,6 +331,16 @@ def write_manifest(directory: str, manifest: Manifest) -> str:
 
 
 def read_manifest(directory: str) -> Manifest:
+    """Load and validate ``manifest.json`` from ``directory``.
+
+    Raises :class:`ManifestError` if missing, unparsable, or of an
+    unsupported version.
+
+    Example::
+
+        m = read_manifest("ckpt/step_00000004")
+        [a.name for a in m.shards[0].arrays]
+    """
     path = os.path.join(directory, MANIFEST_NAME)
     if not os.path.isfile(path):
         raise ManifestError(f"no {MANIFEST_NAME} in {directory!r}")

@@ -23,6 +23,7 @@ import os
 
 import numpy as np
 
+from .. import obs
 from ..analysis.sanitize import freeze, sanitize_enabled
 from .format import (
     CheckpointError,
@@ -96,8 +97,15 @@ def restore_pipeline(comm, path: str, workload=None):
     calling SPMD world (any rank count) from a ``par_amr`` checkpoint.
 
     Collective: every rank reads all shards (the in-process analogue of
-    a parallel filesystem) and keeps its SFC segment.
+    a parallel filesystem) and keeps its SFC segment.  Recorded under
+    the ``checkpoint/restore`` phase when a :mod:`repro.obs` timer is
+    bound.
     """
+    with obs.phase("checkpoint/restore"):
+        return _restore_pipeline_impl(comm, path, workload)
+
+
+def _restore_pipeline_impl(comm, path: str, workload):
     from ..amr.pardriver import ParAmrPipeline
     from ..octree import OctantArray, morton_encode
 
@@ -151,7 +159,14 @@ def restore_convection(path: str, config=None, include_solver_state: bool = True
     warm-start solver state are restored.  The lagged-preconditioner
     hierarchy is rebuilt from its saved reference viscosity, which is
     bitwise-equivalent to the hierarchy the uninterrupted run carried.
+    Recorded under the ``checkpoint/restore`` phase when a
+    :mod:`repro.obs` timer is bound.
     """
+    with obs.phase("checkpoint/restore"):
+        return _restore_convection_impl(path, config, include_solver_state)
+
+
+def _restore_convection_impl(path: str, config, include_solver_state: bool):
     from ..rhea.convection import MantleConvection, StepDiagnostics
     from ..octree import LinearOctree, OctantArray
 

@@ -30,6 +30,7 @@ from dataclasses import asdict
 
 import numpy as np
 
+from .. import obs
 from ..analysis.sanitize import maybe_freeze
 from .format import (
     Manifest,
@@ -69,7 +70,18 @@ def save_pipeline(pipe, root: str, keep: int | None = 2) -> str:
 
     Every rank must call this (it gathers shard metadata and barriers);
     rank 0 alone touches the manifest, the atomic rename, and retention.
+    Recorded under the ``checkpoint/save`` phase when a
+    :mod:`repro.obs` timer is bound.
+
+    Example::
+
+        path = save_pipeline(pipe, "ckpts")   # -> "ckpts/step_000016"
     """
+    with obs.phase("checkpoint/save"):
+        return _save_pipeline_impl(pipe, root, keep)
+
+
+def _save_pipeline_impl(pipe, root: str, keep: int | None) -> str:
     comm = pipe.comm
     step = pipe.steps_taken
     final_dir = os.path.join(root, step_dirname(step))
@@ -141,7 +153,22 @@ def convection_arrays(sim, include_solver_state: bool = True) -> dict:
 def save_convection(
     sim, root: str, keep: int | None = 2, include_solver_state: bool = True
 ) -> str:
-    """Serial snapshot of a MantleConvection run; returns the final path."""
+    """Serial snapshot of a MantleConvection run; returns the final path.
+
+    Recorded under the ``checkpoint/save`` phase when a
+    :mod:`repro.obs` timer is bound.
+
+    Example::
+
+        path = save_convection(sim, "ckpts", include_solver_state=True)
+    """
+    with obs.phase("checkpoint/save"):
+        return _save_convection_impl(sim, root, keep, include_solver_state)
+
+
+def _save_convection_impl(
+    sim, root: str, keep: int | None, include_solver_state: bool
+) -> str:
     cfg = sim.config
     step = sim.step_count
     final_dir = os.path.join(root, step_dirname(step))

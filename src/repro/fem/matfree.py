@@ -45,6 +45,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..mangll.tensor import kron3
 from ..mesh import Mesh
 from ..mesh.opcache import operator_cache
@@ -284,6 +285,7 @@ class MatFreeStokesOperator:
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Full saddle matvec ``[[A, B^T], [B, -C]] x``."""
+        obs.counter("matfree_applies")
         ne = self.mesh.n_elements
         u, p = x[: self.n_u], x[self.n_u :]
         # gather to element space (constraints + Dirichlet mask folded in)

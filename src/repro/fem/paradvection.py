@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..mesh.parmesh import ParMesh
 from .advection import supg_tau
 from .hexops import ElementOps
@@ -127,7 +128,9 @@ class ParAdvectionDiffusion:
         """Globally assembled dT/dt on this rank's union-mesh dofs."""
         # the stiffness contribution is local (owned elements only) and
         # needs the exchange; b was already globally assembled in setup
-        r = self.pm.exchange_sum(-(self.A @ T)) + self.b
+        local = -(self.A @ T)
+        with obs.phase("exchange"):
+            r = self.pm.exchange_sum(local) + self.b
         r = r / self.ML
         r[self._bc_mask] = 0.0
         r[~self.pm.active] = 0.0

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..mesh import Mesh
 from ..mesh.opcache import operator_cache
 from .assembly import (
@@ -140,20 +141,25 @@ class StokesSystem:
     def A(self) -> sp.csr_matrix:
         """Dirichlet-eliminated strain stiffness (assembled on demand)."""
         if self._A is None:
-            A = assemble_vector(
-                self.mesh, _OPS.strain_stiffness(self.mesh.element_sizes(), self.viscosity)
-            )
-            self._A, _ = apply_dirichlet(A, None, self.bc.dofs)
+            with obs.phase("assemble"):
+                A = assemble_vector(
+                    self.mesh,
+                    _OPS.strain_stiffness(self.mesh.element_sizes(), self.viscosity),
+                )
+                self._A, _ = apply_dirichlet(A, None, self.bc.dofs)
         return self._A
 
     @property
     def C(self) -> sp.csr_matrix:
         """Pressure stabilization block (assembled on demand)."""
         if self._C is None:
-            self._C = assemble_scalar(
-                self.mesh,
-                _OPS.pressure_stabilization(self.mesh.element_sizes(), self.viscosity),
-            )
+            with obs.phase("assemble"):
+                self._C = assemble_scalar(
+                    self.mesh,
+                    _OPS.pressure_stabilization(
+                        self.mesh.element_sizes(), self.viscosity
+                    ),
+                )
         return self._C
 
     @property
@@ -161,9 +167,10 @@ class StokesSystem:
         """Column-masked negative divergence (viscosity-independent,
         cached per mesh/BC, assembled on demand)."""
         if self._B is None:
-            self._B = operator_cache(self.mesh).get(
-                ("stokes_B", self.bc_kind), self._build_divergence
-            )
+            with obs.phase("assemble"):
+                self._B = operator_cache(self.mesh).get(
+                    ("stokes_B", self.bc_kind), self._build_divergence
+                )
         return self._B
 
     def _build_divergence(self) -> sp.csr_matrix:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..octree import OctantArray, ROOT_LEN, morton_encode
 from ..octree.linear import LinearOctree
 from ..octree.morton import key_range_size
@@ -207,7 +208,12 @@ class ParForest:
         return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
 
     def balance(self, connectivity: str = "edge", max_rounds: int = 64) -> tuple["ParForest", int]:
-        """Distributed ripple balance across and within trees."""
+        """Distributed ripple balance across and within trees (recorded
+        under the ``amr/balance`` phase when an obs timer is bound)."""
+        with obs.phase("amr/balance"):
+            return self._balance_impl(connectivity, max_rounds)
+
+    def _balance_impl(self, connectivity: str, max_rounds: int) -> tuple["ParForest", int]:
         pf = self
         n0 = pf.global_count()
         comm = self.comm
@@ -241,7 +247,13 @@ class ParForest:
     # -- partition ---------------------------------------------------------------------
 
     def partition(self, weights: np.ndarray | None = None) -> "ParForest":
-        """Equal-count (or weighted) repartition of the global curve."""
+        """Equal-count (or weighted) repartition of the global curve
+        (recorded under the ``amr/partition`` phase when an obs timer is
+        bound)."""
+        with obs.phase("amr/partition"):
+            return self._partition_impl(weights)
+
+    def _partition_impl(self, weights: np.ndarray | None) -> "ParForest":
         comm = self.comm
         n_local = len(self)
         if weights is None:

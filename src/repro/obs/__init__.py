@@ -1,0 +1,68 @@
+"""repro.obs — observability: phase timers, trace export, paper reports.
+
+The measurement layer behind the paper's Tables IV-VI.  Three pieces:
+
+- :mod:`repro.obs.timer` — hierarchical per-rank phase timers
+  (``obs.phase("amr/balance")`` context managers, nestable, ~zero
+  overhead when disabled) that snapshot
+  :class:`~repro.parallel.stats.CommStats` deltas per phase and carry
+  structured counters; :func:`imbalance` reduces per-rank results into
+  min/median/max statistics.
+- :mod:`repro.obs.trace` — Chrome-trace (``chrome://tracing`` /
+  Perfetto) JSON export: one track per rank, nested phase slices.
+- :mod:`repro.obs.report` — combines measured phase fractions with the
+  :class:`~repro.parallel.machine.MachineModel` into the paper's
+  Table IV-style AMR / Stokes / advection breakdown (markdown + JSON).
+
+Quick use::
+
+    from repro import obs
+
+    timer = obs.enable()              # bind to this thread / rank
+    with obs.phase("stokes"):
+        obs.counter("minres_iterations", 42)
+    obs.chrome_trace([timer], "trace.json")
+    rep = obs.generate_report([timer.results()])
+    print(obs.markdown_report(rep))
+
+See OBSERVABILITY.md for the full guide.
+"""
+
+from .report import (
+    PHASE_GROUPS,
+    classify_phase,
+    generate_report,
+    markdown_report,
+    model_phase_comm,
+)
+from .timer import (
+    NULL_PHASE,
+    PhaseTimer,
+    active,
+    attached,
+    counter,
+    disable,
+    enable,
+    imbalance,
+    phase,
+)
+from .trace import chrome_trace, trace_events
+
+__all__ = [
+    "PhaseTimer",
+    "NULL_PHASE",
+    "phase",
+    "counter",
+    "enable",
+    "disable",
+    "active",
+    "attached",
+    "imbalance",
+    "chrome_trace",
+    "trace_events",
+    "PHASE_GROUPS",
+    "classify_phase",
+    "model_phase_comm",
+    "generate_report",
+    "markdown_report",
+]

@@ -1,0 +1,436 @@
+"""Hierarchical per-rank phase timer with communication attribution.
+
+The paper's evidence is per-phase accounting: Tables IV-VI break
+end-to-end runs into the AMR functions (NewTree, Coarsen/Refine,
+Balance, Partition, ExtractMesh, Transfer), the Stokes solve, and the
+advection update, and show AMR staying under ~10% of wall-clock at
+scale.  This module provides the measurement substrate: a
+:class:`PhaseTimer` records nested ``phase("amr/balance")`` sections
+with wall-clock, :class:`~repro.parallel.stats.CommStats` deltas
+(messages, bytes, collective calls, flops) and structured counters
+(MINRES iterations, refined-element counts, cache hits).
+
+Timers are bound per *thread* — exactly one simulated SPMD rank — so
+library code calls the module-level :func:`phase` / :func:`counter`
+helpers without threading a timer object through every signature.
+When no timer is bound, :func:`phase` returns a shared no-op context
+manager: the disabled hot path is one thread-local attribute read and
+allocates nothing.
+
+Example (serial)::
+
+    from repro import obs
+
+    timer = obs.enable()
+    with obs.phase("stokes"):
+        with obs.phase("assemble"):
+            ...                    # recorded under "stokes/assemble"
+        obs.counter("minres_iterations", 42)
+    print(timer.results()["stokes"]["wall_s"])
+    obs.disable()
+
+Example (SPMD) — each rank binds its own timer against its
+communicator, so every phase also captures the rank's communication
+delta::
+
+    def kernel(comm):
+        timer = obs.enable(comm)
+        with obs.phase("amr/balance"):
+            comm.allreduce(1)
+        return timer.results()
+
+    per_rank = run_spmd(4, kernel)
+    stats = obs.imbalance(per_rank)   # min/median/max across ranks
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "PhaseTimer",
+    "NULL_PHASE",
+    "phase",
+    "counter",
+    "enable",
+    "disable",
+    "active",
+    "attached",
+    "imbalance",
+]
+
+#: per-rank result fields that :func:`imbalance` reduces across ranks
+_REDUCED_FIELDS = (
+    "wall_s",
+    "self_s",
+    "p2p_messages",
+    "p2p_bytes",
+    "collective_calls",
+    "collective_bytes",
+    "flops",
+)
+
+
+class _NullPhase:
+    """Shared no-op context manager returned while timing is disabled.
+
+    A single module-level instance (:data:`NULL_PHASE`) is handed out
+    for every :func:`phase` call with no bound timer, so the disabled
+    hot path performs no allocation::
+
+        assert obs.phase("a") is obs.phase("b")   # timing disabled
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+#: the singleton no-op phase (see :class:`_NullPhase`)
+NULL_PHASE = _NullPhase()
+
+_TLS = threading.local()
+
+
+class _Frame:
+    """One open phase on a timer's stack (internal)."""
+
+    __slots__ = (
+        "path",
+        "t0",
+        "child_s",
+        "s_msgs",
+        "s_bytes",
+        "s_calls",
+        "s_cbytes",
+        "s_flops",
+    )
+
+    def __init__(self, path, t0, snap):
+        self.path = path
+        self.t0 = t0
+        self.child_s = 0.0
+        (self.s_msgs, self.s_bytes, self.s_calls, self.s_cbytes, self.s_flops) = snap
+
+
+class _PhaseCtx:
+    """Context manager that opens/closes one phase on its timer."""
+
+    __slots__ = ("_timer", "_name")
+
+    def __init__(self, timer, name):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self):
+        self._timer._push(self._name)
+        return self
+
+    def __exit__(self, *exc):
+        self._timer._pop()
+        return False
+
+
+def _blank_record() -> dict:
+    return {
+        "count": 0,
+        "wall_s": 0.0,
+        "self_s": 0.0,
+        "p2p_messages": 0,
+        "p2p_bytes": 0,
+        "collective_calls": 0,
+        "collective_bytes": 0,
+        "flops": 0.0,
+        "counters": {},
+    }
+
+
+class PhaseTimer:
+    """Per-rank hierarchical phase timer.
+
+    Parameters
+    ----------
+    comm:
+        Optional communicator-like object exposing ``.rank`` and
+        ``.stats`` (a :class:`~repro.parallel.stats.CommStats`).  When
+        given, every phase records the delta of the rank's
+        communication tally between entry and exit, so phases that
+        interleave collectives attribute messages/bytes to the
+        innermost open phase chain.  ``None`` records wall time and
+        counters only (serial drivers).
+    record_events:
+        Keep the begin/duration event list needed by the Chrome-trace
+        exporter (:func:`repro.obs.chrome_trace`).  Events are capped at
+        ``max_events``; further entries still accumulate into the
+        per-phase records but drop off the timeline (``events_dropped``
+        counts them).
+
+    Example::
+
+        timer = PhaseTimer()
+        with timer.phase("amr"):
+            with timer.phase("balance"):
+                pass
+        assert set(timer.results()) == {"amr", "amr/balance"}
+    """
+
+    def __init__(self, comm=None, record_events: bool = True, max_events: int = 200_000):
+        self.comm = comm
+        self.rank = getattr(comm, "rank", 0)
+        self.record_events = record_events
+        self.max_events = max_events
+        self.epoch = time.perf_counter()
+        self.records: dict[str, dict] = {}
+        #: (path, start_seconds, duration_seconds) relative to ``epoch``
+        self.events: list[tuple[str, float, float]] = []
+        self.events_dropped = 0
+        self._stack: list[_Frame] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def phase(self, name: str) -> _PhaseCtx:
+        """Context manager timing one (possibly nested) phase.
+
+        The recorded path composes with the enclosing phases:
+        ``phase("minres")`` inside ``phase("stokes")`` records under
+        ``"stokes/minres"``.  Re-entering the same path accumulates
+        into one record (``count`` tracks entries).
+        """
+        return _PhaseCtx(self, name)
+
+    def counter(self, name: str, value=1) -> None:
+        """Add ``value`` to a structured counter on the innermost open
+        phase (or the timer-level ``""`` record outside any phase).
+
+        Example::
+
+            with timer.phase("stokes"):
+                timer.counter("minres_iterations", res.iterations)
+        """
+        path = self._stack[-1].path if self._stack else ""
+        rec = self.records.get(path)
+        if rec is None:
+            rec = self.records[path] = _blank_record()
+        c = rec["counters"]
+        c[name] = c.get(name, 0) + value
+
+    def _snap(self):
+        s = getattr(self.comm, "stats", None)
+        if s is None:
+            return (0, 0, 0, 0, 0.0)
+        return (
+            s.p2p_messages,
+            s.p2p_bytes,
+            sum(s.collective_calls.values()),
+            sum(s.collective_bytes.values()),
+            s.flops,
+        )
+
+    def _push(self, name: str) -> None:
+        path = self._stack[-1].path + "/" + name if self._stack else name
+        self._stack.append(_Frame(path, time.perf_counter(), self._snap()))
+
+    def _pop(self) -> None:
+        f = self._stack.pop()
+        t1 = time.perf_counter()
+        wall = t1 - f.t0
+        msgs, nbytes, calls, cbytes, flops = self._snap()
+        rec = self.records.get(f.path)
+        if rec is None:
+            rec = self.records[f.path] = _blank_record()
+        rec["count"] += 1
+        rec["wall_s"] += wall
+        rec["self_s"] += wall - f.child_s
+        rec["p2p_messages"] += msgs - f.s_msgs
+        rec["p2p_bytes"] += nbytes - f.s_bytes
+        rec["collective_calls"] += calls - f.s_calls
+        rec["collective_bytes"] += cbytes - f.s_cbytes
+        rec["flops"] += flops - f.s_flops
+        if self._stack:
+            self._stack[-1].child_s += wall
+        if self.record_events:
+            if len(self.events) < self.max_events:
+                self.events.append((f.path, f.t0 - self.epoch, wall))
+            else:
+                self.events_dropped += 1
+
+    # -- results -----------------------------------------------------------
+
+    def results(self) -> dict:
+        """Per-phase records as plain nested dicts, keyed by path.
+
+        Each record holds ``count``, inclusive ``wall_s``, exclusive
+        ``self_s`` (inclusive minus children), the CommStats deltas
+        (``p2p_messages``, ``p2p_bytes``, ``collective_calls``,
+        ``collective_bytes``, ``flops``) and the ``counters`` dict.
+        Open phases are not included until they exit.
+        """
+        return {
+            path: {**rec, "counters": dict(rec["counters"])}
+            for path, rec in self.records.items()
+        }
+
+    def trace_data(self) -> dict:
+        """This rank's timeline in the form :func:`repro.obs.chrome_trace`
+        consumes: ``{"rank", "epoch", "events", "events_dropped"}``.
+        """
+        return {
+            "rank": self.rank,
+            "epoch": self.epoch,
+            "events": list(self.events),
+            "events_dropped": self.events_dropped,
+        }
+
+    def reduce(self) -> dict | None:
+        """Allgather every rank's :meth:`results` over ``self.comm`` and
+        return the :func:`imbalance` reduction (identical on all ranks).
+
+        Must be called collectively (every rank, same program point) —
+        it issues one ``allgather``.  Returns ``None`` without
+        communicating when the timer has no communicator.
+        """
+        if self.comm is None or not hasattr(self.comm, "allgather"):
+            return None
+        return imbalance(self.comm.allgather(self.results()))
+
+
+# -- thread-local binding ----------------------------------------------------
+
+
+def active() -> PhaseTimer | None:
+    """The timer bound to the calling thread, or ``None`` when timing
+    is disabled (the default)."""
+    return getattr(_TLS, "timer", None)
+
+
+def enable(comm=None, record_events: bool = True) -> PhaseTimer:
+    """Create a :class:`PhaseTimer` and bind it to the calling thread.
+
+    Inside an SPMD kernel each rank-thread gets its own binding::
+
+        def kernel(comm):
+            timer = obs.enable(comm)
+            ...
+            return timer.results()
+    """
+    timer = PhaseTimer(comm, record_events=record_events)
+    _TLS.timer = timer
+    return timer
+
+
+def disable() -> PhaseTimer | None:
+    """Unbind (and return) the calling thread's timer; subsequent
+    :func:`phase` calls are no-ops again."""
+    timer = getattr(_TLS, "timer", None)
+    _TLS.timer = None
+    return timer
+
+
+@contextmanager
+def attached(timer: PhaseTimer):
+    """Bind an existing timer for the duration of a ``with`` block,
+    restoring the previous binding on exit.
+
+    Example::
+
+        timer = PhaseTimer()
+        with obs.attached(timer), obs.phase("setup"):
+            ...
+    """
+    prev = getattr(_TLS, "timer", None)
+    _TLS.timer = timer
+    try:
+        yield timer
+    finally:
+        _TLS.timer = prev
+
+
+def phase(name: str):
+    """Module-level phase hook used by instrumented library code.
+
+    Returns the bound timer's phase context manager, or the shared
+    no-op singleton when timing is disabled — the disabled path is one
+    thread-local read and performs no allocation.
+
+    Example::
+
+        with obs.phase("amr/balance"):
+            pt, added, _ = balance_tree(pt, connectivity)
+    """
+    timer = getattr(_TLS, "timer", None)
+    if timer is None:
+        return NULL_PHASE
+    return timer.phase(name)
+
+
+def counter(name: str, value=1) -> None:
+    """Module-level counter hook: no-op when timing is disabled,
+    otherwise adds to the bound timer's innermost open phase.
+
+    Example::
+
+        obs.counter("minres_iterations", result.iterations)
+    """
+    timer = getattr(_TLS, "timer", None)
+    if timer is not None:
+        timer.counter(name, value)
+
+
+# -- cross-rank reduction ----------------------------------------------------
+
+
+def _median(vals: list) -> float:
+    s = sorted(vals)
+    n = len(s)
+    mid = n // 2
+    return float(s[mid]) if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def imbalance(per_rank: list[dict]) -> dict:
+    """Reduce per-rank :meth:`PhaseTimer.results` into min/median/max
+    load-imbalance statistics per phase.
+
+    For every phase path seen on any rank, each reduced field carries
+    ``{"min", "median", "max", "sum"}`` over ranks (ranks missing the
+    phase contribute zero), plus ``imbalance = max / median`` of wall
+    time — the quantity the paper's scalability argument tracks.
+    Counters are summed across ranks.
+
+    Example::
+
+        stats = obs.imbalance([timer.results() for timer in timers])
+        stats["amr/balance"]["wall_s"]["max"]
+        stats["amr/balance"]["imbalance"]
+    """
+    paths: set[str] = set()
+    for r in per_rank:
+        paths.update(r.keys())
+    out: dict[str, dict] = {}
+    blank = _blank_record()
+    for path in sorted(paths):
+        recs = [r.get(path, blank) for r in per_rank]
+        entry: dict = {"ranks_present": sum(1 for r in per_rank if path in r)}
+        for f in _REDUCED_FIELDS:
+            vals = [rec[f] for rec in recs]
+            entry[f] = {
+                "min": min(vals),
+                "median": _median(vals),
+                "max": max(vals),
+                "sum": sum(vals),
+            }
+        entry["count"] = sum(rec["count"] for rec in recs)
+        med = entry["wall_s"]["median"]
+        entry["imbalance"] = entry["wall_s"]["max"] / med if med > 0 else 1.0
+        counters: dict = {}
+        for rec in recs:
+            for k, v in rec["counters"].items():
+                counters[k] = counters.get(k, 0) + v
+        entry["counters"] = counters
+        out[path] = entry
+    return out

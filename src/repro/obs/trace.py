@@ -1,0 +1,128 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of phase timelines.
+
+Converts per-rank :meth:`~repro.obs.timer.PhaseTimer.trace_data` into
+the Trace Event JSON format: one track (``tid``) per rank under a
+single ``repro`` process, each phase entry a complete (``"ph": "X"``)
+slice.  Nested phases nest visually because their time ranges are
+contained in their parents' — exactly how the viewers render stacks.
+
+Open the written file at https://ui.perfetto.dev or in Chrome's
+``chrome://tracing``.
+
+Example::
+
+    def kernel(comm):
+        timer = obs.enable(comm)
+        ...
+        return timer.trace_data()
+
+    traces = run_spmd(4, kernel)
+    obs.chrome_trace(traces, "pipeline_trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["chrome_trace", "trace_events"]
+
+
+def _normalize(traces) -> list[dict]:
+    out = []
+    for t in traces:
+        if hasattr(t, "trace_data"):
+            t = t.trace_data()
+        out.append(t)
+    return out
+
+
+def trace_events(traces: list) -> list[dict]:
+    """Build the ``traceEvents`` list from per-rank trace data.
+
+    ``traces`` is a list of :class:`~repro.obs.timer.PhaseTimer` objects
+    or their :meth:`~repro.obs.timer.PhaseTimer.trace_data` dicts, one
+    per rank.  Timestamps are aligned to the earliest rank epoch, so
+    concurrently executing ranks line up on the common timeline
+    (simulated ranks are threads sharing one monotonic clock).
+
+    Example::
+
+        events = trace_events([timer])
+        assert events[0]["ph"] == "M"      # process_name metadata
+    """
+    traces = _normalize(traces)
+    if not traces:
+        return []
+    base = min(t["epoch"] for t in traces)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for t in traces:
+        rank = t["rank"]
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"sort_index": rank},
+            }
+        )
+        offset = t["epoch"] - base
+        for path, t0, dur in t["events"]:
+            events.append(
+                {
+                    "name": path,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": (offset + t0) * 1e6,
+                    "dur": dur * 1e6,
+                    "pid": 0,
+                    "tid": rank,
+                }
+            )
+    return events
+
+
+def chrome_trace(traces: list, path: str | None = None) -> dict:
+    """Build (and optionally write) a Chrome-trace JSON document.
+
+    Parameters
+    ----------
+    traces:
+        Per-rank :class:`~repro.obs.timer.PhaseTimer` objects or
+        ``trace_data()`` dicts.
+    path:
+        When given, the document is written there as JSON.
+
+    Returns the document (``{"traceEvents": [...], ...}``) either way.
+
+    Example::
+
+        doc = obs.chrome_trace([timer], "trace.json")
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    """
+    doc = {
+        "traceEvents": trace_events(traces),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs"},
+    }
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+    return doc

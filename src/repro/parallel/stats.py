@@ -11,6 +11,7 @@ ranks.
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 from dataclasses import dataclass, field
 
@@ -22,12 +23,34 @@ __all__ = ["CommStats", "payload_nbytes", "merge_stats"]
 def payload_nbytes(obj) -> int:
     """Estimate the wire size of a message payload in bytes.
 
-    NumPy arrays report their exact buffer size; containers are summed
-    recursively; scalars and other objects fall back to ``sys.getsizeof``.
+    The accounting is *position-independent*: a value contributes the
+    same byte count whether it is sent bare or reached through a
+    container, so phase-level byte attribution composes.  Rules:
+
+    - NumPy arrays report their exact buffer size (``.nbytes``).
+    - NumPy scalars report their itemsize (``np.float32(1)`` is 4, not
+      a flat 8), again via ``.nbytes``.
+    - ``bytes``/``bytearray``/``memoryview`` report their length.
+    - Containers (list/tuple/set/frozenset/dict) sum their items
+      recursively; dicts include the keys.
+    - Dataclass instances sum their fields recursively (an MPI-style
+      send would serialize the payload, not the Python object header).
+    - Native ``bool``/``int``/``float``/``complex`` count a flat 8
+      (the wire width of the C types the paper's MPI code would use).
+    - Anything else falls back to ``sys.getsizeof``.
+
+    Example::
+
+        payload_nbytes(np.zeros(3)) == 24
+        payload_nbytes([np.float32(1.0)]) == payload_nbytes(np.float32(1.0)) == 4
     """
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, np.generic):
+        # numpy scalar: its actual wire width, consistent between the
+        # bare-scalar and through-a-container paths
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
@@ -35,7 +58,11 @@ def payload_nbytes(obj) -> int:
         return sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
-    if isinstance(obj, (int, float, complex, np.generic, bool)):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return sum(
+            payload_nbytes(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, (int, float, complex, bool)):
         return 8
     return sys.getsizeof(obj)
 

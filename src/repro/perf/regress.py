@@ -39,6 +39,20 @@ the overhead of the PR-3 checkpoint subsystem:
   cycle; records the snapshot wall-fraction per cycle, shard bytes per
   element, and the wall time of a restore onto a different rank count.
 
+A fourth suite (``--suite obs``, BENCH_obs.json) exercises the
+:mod:`repro.obs` observability layer:
+
+- ``pipeline_phases``: the 4-rank AMR pipeline run twice — timer bound
+  vs. unbound — recording the enabled-timer overhead fraction, the
+  Table IV-style per-phase report (AMR / Stokes / advection fractions,
+  modeled comm-vs-compute split per core count), and writing the
+  Chrome-trace artifact (``obs_trace.json``).
+- ``convection_phases``: a serial convection cycle with
+  ``RheaConfig(observe=True)``; pins the solver counters (MINRES
+  iterations, AMG setups, cache hits) flowing through the phase tree.
+- ``disabled_overhead``: per-call cost of ``obs.phase``/``obs.counter``
+  with no timer bound (the hot-path guarantee) and with one bound.
+
 ``--smoke`` shrinks every scenario so CI can validate JSON emission in
 seconds; timings in smoke mode are not meaningful and are not gated.
 
@@ -68,7 +82,13 @@ from ..solvers.amg import (
     strength_graph,
 )
 
-__all__ = ["run_suite", "run_checkpoint_suite", "run_matvec_suite", "main"]
+__all__ = [
+    "run_suite",
+    "run_checkpoint_suite",
+    "run_matvec_suite",
+    "run_obs_suite",
+    "main",
+]
 
 
 def _stokes_arm(config: RheaConfig, level: int, n_solves: int, adv_steps: int):
@@ -88,6 +108,18 @@ def _stokes_arm(config: RheaConfig, level: int, n_solves: int, adv_steps: int):
 
 
 def bench_stokes_repeat(smoke: bool) -> dict:
+    """Repeated Stokes solves with and without the PR-1 setup
+    amortizations (operator cache, lagged preconditioner, warm starts).
+
+    Returns baseline/optimized wall seconds, the speedup, MINRES
+    iteration counts (baseline, no-lag, lagged), the vrms drift between
+    the arms, and operator-cache hit/miss totals.
+
+    Example::
+
+        r = bench_stokes_repeat(smoke=True)
+        assert r["speedup"] > 0 and r["vrms_rel_diff"] < 1e-6
+    """
     level = 2 if smoke else 3
     n_solves = 2 if smoke else 5
     adv_steps = 1 if smoke else 2
@@ -129,6 +161,12 @@ def bench_stokes_repeat(smoke: bool) -> dict:
 
 
 def bench_convection_mini(smoke: bool) -> dict:
+    """A small end-to-end convection run (AMR + Stokes + advection)
+    timing the whole :meth:`MantleConvection.run` loop.
+
+    Returns wall seconds, the final element count, and the
+    operator-cache statistics accumulated over the run.
+    """
     cfg = RheaConfig(
         initial_level=2,
         max_level=3 if smoke else 4,
@@ -145,6 +183,13 @@ def bench_convection_mini(smoke: bool) -> dict:
 
 
 def bench_dg_cubed_sphere(smoke: bool) -> dict:
+    """DG advection setup on the cubed-sphere shell: per-face loop vs
+    batched face assembly.
+
+    Returns setup seconds for both paths, the speedup, a bitwise
+    equality check of the resulting rate evaluations, and the cost of
+    one advection step.
+    """
     conn = cubed_sphere_connectivity(r_inner=0.55, r_outer=1.0)
     forest = Forest.uniform(conn, 0 if smoke else 1)
     if not smoke:
@@ -177,6 +222,13 @@ def bench_dg_cubed_sphere(smoke: bool) -> dict:
 
 
 def bench_amg_setup(smoke: bool) -> dict:
+    """AMG setup on a 3-D Poisson matrix: reference (sequential greedy)
+    vs vectorized aggregation, and full hierarchy construction with the
+    legacy vs current smoother.
+
+    Returns aggregation and setup seconds for both arms, speedups, and
+    the aggregate counts (which may differ slightly between algorithms).
+    """
     m = 12 if smoke else 24
     I = sp.eye(m)
     T = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(m, m))
@@ -499,7 +551,179 @@ def bench_kernel_crossover(smoke: bool) -> dict:
     }
 
 
+def bench_pipeline_phases(smoke: bool, trace_path: str = "obs_trace.json") -> dict:
+    """The 4-rank AMR pipeline, observed vs. plain: phase report, trace
+    artifact, and the enabled-timer overhead fraction."""
+    from .. import obs
+    from ..amr import ParAmrPipeline
+    from ..parallel import run_spmd
+
+    p = 4
+    cycles = 2 if smoke else 3
+    target = 250 if smoke else 600
+    max_level = 4 if smoke else 5
+
+    def run_pipe(comm):
+        pipe = ParAmrPipeline(comm, coarse_level=2, max_level=max_level)
+        pipe.run_cycles(cycles, steps_per_cycle=2, target=target)
+        return pipe
+
+    def kernel_plain(comm):
+        t0 = time.perf_counter()
+        run_pipe(comm)
+        return time.perf_counter() - t0
+
+    def kernel_observed(comm):
+        timer = obs.enable(comm)
+        t0 = time.perf_counter()
+        run_pipe(comm)
+        wall = time.perf_counter() - t0
+        obs.disable()
+        return {
+            "wall": wall,
+            "results": timer.results(),
+            "trace": timer.trace_data(),
+        }
+
+    wall_plain = max(run_spmd(p, kernel_plain))
+    observed = run_spmd(p, kernel_observed)
+    wall_obs = max(o["wall"] for o in observed)
+    report = obs.generate_report(
+        [o["results"] for o in observed], executed_ranks=p
+    )
+    obs.chrome_trace([o["trace"] for o in observed], trace_path)
+    big = str(report["core_counts"][-1])
+    return {
+        "ranks": p,
+        "cycles": cycles,
+        "wall_plain_s": wall_plain,
+        "wall_observed_s": wall_obs,
+        "observe_overhead_fraction": (wall_obs - wall_plain) / wall_plain,
+        "trace_path": trace_path,
+        "fractions": report["fractions"],
+        "amr_fraction": report["amr_fraction"],
+        "comm_fraction_at": {
+            g: report["groups"][g]["comm_fraction"][big]
+            for g in report["groups"]
+            if report["groups"][g]["phases"]
+        },
+        "modeled_core_count": int(big),
+        "report": report,
+        "markdown_report": obs.markdown_report(report),
+    }
+
+
+def bench_convection_phases(smoke: bool) -> dict:
+    """Serial convection cycle with ``observe=True``: the phase tree must
+    carry the solver counters end to end."""
+    from .. import obs
+
+    cfg = RheaConfig(
+        initial_level=2,
+        max_level=3 if smoke else 4,
+        adapt_every=2,
+        picard_iterations=2,
+        observe=True,
+        target_elements=150 if smoke else None,
+    )
+    sim = MantleConvection(cfg)
+    sim.run(1 if smoke else 2)
+    timer = obs.active()
+    results = timer.results()
+    obs.disable()
+    report = obs.generate_report([results], executed_ranks=1)
+    stokes = report["groups"]["stokes"]["counters"]
+    nested = {
+        path: dict(e["counters"])
+        for path, e in report["phases"].items()
+        if e["counters"]
+    }
+    return {
+        "n_elements": sim.mesh.n_elements,
+        "fractions": report["fractions"],
+        "minres_iterations": stokes.get("minres_iterations", 0),
+        "picard_iterations": stokes.get("picard_iterations", 0),
+        "prec_builds": stokes.get("prec_builds", 0),
+        "cache_hits": stokes.get("cache_hits", 0),
+        "cache_misses": stokes.get("cache_misses", 0),
+        "phase_counters": nested,
+    }
+
+
+def bench_disabled_overhead(smoke: bool) -> dict:
+    """Per-call cost of the obs hooks: disabled (no bound timer — the
+    always-on production path) and enabled."""
+    from .. import obs
+
+    n = 20_000 if smoke else 200_000
+    obs.disable()
+    assert obs.active() is None
+    # the disabled path must hand back the shared singleton (no allocation)
+    singleton = obs.phase("a") is obs.phase("b") is obs.NULL_PHASE
+
+    t0 = time.perf_counter()
+    for _ in range(n):  # lint: allow-loop (microbenchmark)
+        with obs.phase("x"):
+            pass
+    disabled_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):  # lint: allow-loop (microbenchmark)
+        obs.counter("c")
+    disabled_counter_s = time.perf_counter() - t0
+
+    obs.enable(record_events=False)
+    t0 = time.perf_counter()
+    for _ in range(n):  # lint: allow-loop (microbenchmark)
+        with obs.phase("x"):
+            pass
+    enabled_s = time.perf_counter() - t0
+    obs.disable()
+    return {
+        "calls": n,
+        "null_phase_singleton": bool(singleton),
+        "disabled_ns_per_phase": disabled_s / n * 1e9,
+        "disabled_ns_per_counter": disabled_counter_s / n * 1e9,
+        "enabled_ns_per_phase": enabled_s / n * 1e9,
+    }
+
+
+def run_obs_suite(smoke: bool = False) -> dict:
+    """Run the observability suite (pipeline phases, convection phase
+    counters, disabled-hook overhead) and return the BENCH_obs payload.
+
+    Example::
+
+        data = run_obs_suite(smoke=True)
+        data["scenarios"]["pipeline_phases"]["amr_fraction"]
+    """
+    out = {
+        "suite": "PR5 observability layer",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    for name, fn in (
+        ("pipeline_phases", bench_pipeline_phases),
+        ("convection_phases", bench_convection_phases),
+        ("disabled_overhead", bench_disabled_overhead),
+    ):
+        t0 = time.perf_counter()
+        out["scenarios"][name] = fn(smoke)
+        out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+        summary = {
+            k: v
+            for k, v in out["scenarios"][name].items()
+            if not isinstance(v, (dict, str)) or k == "trace_path"
+        }
+        print(f"[regress] {name}: {json.dumps(summary)}", flush=True)
+    return out
+
+
 def run_matvec_suite(smoke: bool = False) -> dict:
+    """Run the matrix-free apply suite (saddle apply, Stokes end-to-end,
+    advection rate, kernel crossover) and return the BENCH_matvec
+    payload."""
     out = {
         "suite": "PR4 matrix-free apply engine",
         "smoke": smoke,
@@ -520,6 +744,8 @@ def run_matvec_suite(smoke: bool = False) -> dict:
 
 
 def run_suite(smoke: bool = False) -> dict:
+    """Run the setup-amortization suite (Stokes repeat, mini convection,
+    DG cubed sphere, AMG setup) and return the BENCH_tentpole payload."""
     out = {
         "suite": "PR1 setup amortization",
         "smoke": smoke,
@@ -540,6 +766,8 @@ def run_suite(smoke: bool = False) -> dict:
 
 
 def run_checkpoint_suite(smoke: bool = False) -> dict:
+    """Run the checkpoint suite (save/restore overhead and shard sizes)
+    and return the BENCH_checkpoint payload."""
     out = {
         "suite": "PR3 checkpoint overhead",
         "smoke": smoke,
@@ -558,10 +786,15 @@ def run_checkpoint_suite(smoke: bool = False) -> dict:
 
 
 def main(argv=None) -> int:
+    """CLI entry point: ``python -m repro.perf.regress --suite <name>``.
+
+    Runs the selected suite, writes ``BENCH_<suite>.json`` (or
+    ``BENCH_<suite>_smoke.json`` with ``--smoke``), prints the headline
+    numbers, and returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=["tentpole", "checkpoint", "matvec"],
+        choices=["tentpole", "checkpoint", "matvec", "obs"],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
     )
@@ -583,6 +816,8 @@ def main(argv=None) -> int:
         result = run_checkpoint_suite(smoke=args.smoke)
     elif args.suite == "matvec":
         result = run_matvec_suite(smoke=args.smoke)
+    elif args.suite == "obs":
+        result = run_obs_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
@@ -602,6 +837,15 @@ def main(argv=None) -> int:
             f"[regress] stokes_repeat speedup {sr['speedup']:.2f}x "
             f"(baseline {sr['baseline_s']:.2f}s -> optimized {sr['optimized_s']:.2f}s), "
             f"lag iteration ratio {sr['lag_iter_ratio']:.3f}"
+        )
+    elif args.suite == "obs":
+        pp = result["scenarios"]["pipeline_phases"]
+        do = result["scenarios"]["disabled_overhead"]
+        print(
+            f"[regress] AMR fraction {100 * pp['amr_fraction']:.1f}%, "
+            f"observe overhead {100 * pp['observe_overhead_fraction']:.1f}%, "
+            f"disabled hook {do['disabled_ns_per_phase']:.0f} ns/phase; "
+            f"trace at {pp['trace_path']}"
         )
     else:
         co = result["scenarios"]["checkpoint_overhead"]

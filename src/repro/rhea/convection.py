@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..amr import adapt_mesh
 from ..fem import AdvectionDiffusion, StokesSystem, element_velocity_from_nodal
 from ..mesh import Mesh, extract_mesh
@@ -88,6 +89,10 @@ class RheaConfig:
     #: ``"tensor"`` (matrix-free sum-factorized, Section VII) or
     #: ``"matrix"`` (legacy assembled CSR)
     fem_variant: str = "tensor"
+    #: bind a :class:`repro.obs.PhaseTimer` for the duration of
+    #: :meth:`MantleConvection.run` if none is active (per-phase wall
+    #: times, solver counters); read it back via ``repro.obs.active()``
+    observe: bool = False
 
 
 @dataclass
@@ -227,6 +232,8 @@ class MantleConvection:
                 break
         self._last_minres = total_minres
         self._last_picard = n_picard
+        obs.counter("minres_iterations", total_minres)
+        obs.counter("picard_iterations", n_picard)
         stats = {
             "minres_iterations": total_minres,
             "picard_iterations": n_picard,
@@ -381,6 +388,8 @@ class MantleConvection:
         from ..parallel import check_fault
 
         cfg = self.config
+        if cfg.observe and obs.active() is None:
+            obs.enable()
         ckpt = None
         if checkpoint is not None:
             from ..checkpoint import Checkpointer
@@ -390,15 +399,25 @@ class MantleConvection:
             timings = {}
             if adapt:
                 t0 = time.perf_counter()
-                report = self.adapt()
+                with obs.phase("amr"):
+                    report = self.adapt()
+                    obs.counter("elements_marked_refine", report.n_refined)
+                    obs.counter("elements_coarsened", report.n_coarsened)
                 timings["AMR"] = time.perf_counter() - t0
                 timings.update(report.timings)
             check_fault(None, self.step_count)
             t0 = time.perf_counter()
-            stats = self.solve_stokes()
+            c0 = self.cache_stats()
+            with obs.phase("stokes"):
+                stats = self.solve_stokes()
+                c1 = self.cache_stats()
+                obs.counter("cache_hits", c1["cache_hits"] - c0["cache_hits"])
+                obs.counter("cache_misses", c1["cache_misses"] - c0["cache_misses"])
             timings["Stokes"] = time.perf_counter() - t0
             t0 = time.perf_counter()
-            self.advance_temperature(cfg.adapt_every)
+            with obs.phase("advection"):
+                self.advance_temperature(cfg.adapt_every)
+                obs.counter("advection_steps", cfg.adapt_every)
             timings["TimeIntegration"] = time.perf_counter() - t0
             self.history.append(
                 StepDiagnostics(

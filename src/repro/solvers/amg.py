@@ -30,6 +30,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .. import obs
+
 __all__ = [
     "SmoothedAggregationAMG",
     "AMGLevel",
@@ -290,6 +292,10 @@ class SmoothedAggregationAMG:
         presmooth: int = 1,
         postsmooth: int = 1,
     ):
+        with obs.phase("amg_setup"):
+            self._setup(A, theta, max_coarse, max_levels, presmooth, postsmooth)
+
+    def _setup(self, A, theta, max_coarse, max_levels, presmooth, postsmooth):
         A = sp.csr_matrix(A)
         self.presmooth = presmooth
         self.postsmooth = postsmooth
@@ -378,6 +384,7 @@ class SmoothedAggregationAMG:
     def vcycle(self, b: np.ndarray) -> np.ndarray:
         """One V-cycle with zero initial guess: an SPD approximation of
         ``A^{-1}`` suitable as a MINRES preconditioner block."""
+        obs.counter("amg_vcycles")
         return self._cycle(0, b)
 
     def solve(

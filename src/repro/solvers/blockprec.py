@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
 from .amg import SmoothedAggregationAMG
 
 if TYPE_CHECKING:  # import is type-only: fem.stokes imports solvers-adjacent
@@ -40,11 +41,12 @@ class StokesBlockPreconditioner:
     def __init__(self, stokes: StokesSystem, theta: float = 0.08, **amg_opts):
         self.stokes = stokes
         self.n = stokes.mesh.n_independent
-        self.amg = [
-            SmoothedAggregationAMG(K, theta=theta, **amg_opts)
-            for K in stokes.poisson_blocks()
-        ]
-        self.schur_diag = stokes.schur_diagonal()
+        with obs.phase("prec_setup"):
+            self.amg = [
+                SmoothedAggregationAMG(K, theta=theta, **amg_opts)
+                for K in stokes.poisson_blocks()
+            ]
+            self.schur_diag = stokes.schur_diagonal()
         if np.any(self.schur_diag <= 0):
             raise AssertionError("Schur diagonal must be positive")
         self.n_vcycles = 0
@@ -136,6 +138,7 @@ class LaggedStokesPreconditioner:
         )
         if reusable:
             self.n_reuses += 1
+            obs.counter("prec_reuses")
             if self._frozen_token is not None:
                 from ..analysis.sanitize import maybe_verify
 
@@ -147,6 +150,7 @@ class LaggedStokesPreconditioner:
             self._prec.refresh_schur(stokes)
         else:
             self.n_builds += 1
+            obs.counter("prec_builds")
             self._prec = StokesBlockPreconditioner(
                 stokes, theta=self.theta, **self.amg_opts
             )

@@ -18,6 +18,8 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
+
 __all__ = ["minres", "MinresResult"]
 
 
@@ -64,6 +66,14 @@ def minres(
     tol:
         Relative tolerance on the preconditioned residual norm.
     """
+    with obs.phase("minres"):
+        res = _minres_impl(A, b, M, x0, tol, maxiter, callback)
+    obs.counter("minres_calls")
+    obs.counter("minres_iterations", res.iterations)
+    return res
+
+
+def _minres_impl(A, b, M, x0, tol, maxiter, callback) -> MinresResult:
     apply_A = _as_op(A)
     apply_M = M if M is not None else (lambda r: r)
     n = len(b)

@@ -1,0 +1,287 @@
+"""Phase-timer semantics: nesting, reentrancy, thread-local binding,
+CommStats delta attribution, disabled-mode behavior, and the cross-rank
+imbalance reduction."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.timer import PhaseTimer
+from repro.parallel import run_spmd
+
+
+@pytest.fixture(autouse=True)
+def _unbound():
+    """Every test starts and ends with timing disabled on this thread."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# -- nesting / reentrancy ----------------------------------------------------
+
+
+def test_nested_phases_compose_paths():
+    timer = obs.enable()
+    with obs.phase("stokes"):
+        with obs.phase("assemble"):
+            pass
+        with obs.phase("minres"):
+            pass
+    res = timer.results()
+    assert set(res) == {"stokes", "stokes/assemble", "stokes/minres"}
+    assert res["stokes"]["count"] == 1
+    assert res["stokes/assemble"]["count"] == 1
+
+
+def test_reentering_same_phase_accumulates_one_record():
+    timer = obs.enable()
+    for _ in range(5):  # lint: allow-loop (test repetition)
+        with obs.phase("amr"):
+            pass
+    res = timer.results()
+    assert res["amr"]["count"] == 5
+    assert res["amr"]["wall_s"] >= 0.0
+
+
+def test_recursive_reentry_nests_paths():
+    timer = obs.enable()
+
+    def recurse(depth):
+        if depth == 0:
+            return
+        with obs.phase("f"):
+            recurse(depth - 1)
+
+    recurse(3)
+    res = timer.results()
+    assert set(res) == {"f", "f/f", "f/f/f"}
+    assert all(res[p]["count"] == 1 for p in res)
+
+
+def test_self_time_excludes_children():
+    timer = obs.enable()
+    with obs.phase("outer"):
+        with obs.phase("inner"):
+            x = 0.0
+        for _ in range(1000):  # lint: allow-loop (burn a little wall time)
+            x += 1.0
+    res = timer.results()
+    outer, inner = res["outer"], res["outer/inner"]
+    assert outer["wall_s"] >= inner["wall_s"]
+    assert outer["self_s"] == pytest.approx(outer["wall_s"] - inner["wall_s"])
+
+
+def test_open_phase_not_reported_until_exit():
+    timer = obs.enable()
+    ctx = obs.phase("open")
+    ctx.__enter__()
+    assert "open" not in timer.results()
+    ctx.__exit__(None, None, None)
+    assert "open" in timer.results()
+
+
+def test_exception_still_closes_phase():
+    timer = obs.enable()
+    with pytest.raises(ValueError):
+        with obs.phase("risky"):
+            raise ValueError("boom")
+    assert timer.results()["risky"]["count"] == 1
+    # the stack unwound: a new phase is top-level, not "risky/next"
+    with obs.phase("next"):
+        pass
+    assert "next" in timer.results()
+
+
+# -- counters ----------------------------------------------------------------
+
+
+def test_counter_attaches_to_innermost_open_phase():
+    timer = obs.enable()
+    with obs.phase("stokes"):
+        with obs.phase("minres"):
+            obs.counter("iterations", 7)
+        obs.counter("picard", 1)
+    res = timer.results()
+    assert res["stokes/minres"]["counters"] == {"iterations": 7}
+    assert res["stokes"]["counters"] == {"picard": 1}
+
+
+def test_counter_outside_any_phase_lands_on_timer_level_record():
+    timer = obs.enable()
+    obs.counter("orphan", 3)
+    obs.counter("orphan", 2)
+    assert timer.results()[""]["counters"] == {"orphan": 5}
+
+
+# -- disabled mode -----------------------------------------------------------
+
+
+def test_disabled_phase_is_shared_noop_singleton():
+    assert obs.active() is None
+    assert obs.phase("a") is obs.phase("b") is obs.NULL_PHASE
+    with obs.phase("ignored"):
+        obs.counter("ignored", 10)  # must not raise, must not record
+
+
+def test_enable_disable_roundtrip():
+    timer = obs.enable()
+    assert obs.active() is timer
+    assert obs.disable() is timer
+    assert obs.active() is None
+    assert obs.disable() is None
+
+
+def test_attached_restores_previous_binding():
+    outer = obs.enable()
+    inner = PhaseTimer()
+    with obs.attached(inner):
+        assert obs.active() is inner
+        with obs.phase("x"):
+            pass
+    assert obs.active() is outer
+    assert "x" in inner.results()
+    assert "x" not in outer.results()
+
+
+def test_binding_is_thread_local():
+    timer = obs.enable()
+    seen = {}
+
+    def worker():
+        seen["active"] = obs.active()
+        with obs.phase("w"):
+            pass
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert seen["active"] is None  # other thread never saw our timer
+    assert "w" not in timer.results()
+
+
+def test_record_events_false_skips_timeline():
+    timer = obs.enable(record_events=False)
+    with obs.phase("p"):
+        pass
+    assert timer.events == []
+    assert "p" in timer.results()
+
+
+def test_event_cap_counts_drops():
+    timer = PhaseTimer(max_events=3)
+    with obs.attached(timer):
+        for _ in range(5):  # lint: allow-loop (exceed the event cap)
+            with obs.phase("e"):
+                pass
+    assert len(timer.events) == 3
+    assert timer.events_dropped == 2
+    assert timer.results()["e"]["count"] == 5  # records unaffected
+
+
+# -- CommStats attribution ---------------------------------------------------
+
+
+def test_comm_deltas_attributed_to_innermost_phase_chain():
+    def kernel(comm):
+        timer = obs.enable(comm)
+        with obs.phase("outer"):
+            comm.allreduce(np.float64(1.0))
+            with obs.phase("inner"):
+                comm.allreduce(np.float64(2.0))
+                comm.allreduce(np.float64(3.0))
+            comm.allreduce(np.float64(4.0))
+        obs.disable()
+        return timer.results()
+
+    per_rank = run_spmd(2, kernel)
+    for res in per_rank:  # lint: allow-loop (per-rank assertions)
+        # inclusive: outer sees all 4 collectives, inner exactly 2
+        assert res["outer"]["collective_calls"] == 4
+        assert res["outer/inner"]["collective_calls"] == 2
+        assert res["outer/inner"]["collective_bytes"] == 16
+
+
+def test_p2p_attribution_with_interleaved_phases():
+    def kernel(comm):
+        timer = obs.enable(comm)
+        other = 1 - comm.rank
+        payload = np.arange(4, dtype=np.float64)
+        with obs.phase("talk"):
+            comm.send(payload, other)
+            comm.recv(other)
+        with obs.phase("quiet"):
+            pass
+        obs.disable()
+        return timer.results()
+
+    per_rank = run_spmd(2, kernel)
+    for res in per_rank:  # lint: allow-loop (per-rank assertions)
+        assert res["talk"]["p2p_messages"] == 1  # sends counted at sender
+        assert res["talk"]["p2p_bytes"] == 32
+        assert res["quiet"]["p2p_messages"] == 0
+        assert res["quiet"]["collective_calls"] == 0
+
+
+def test_timer_reduce_is_collective_and_replicated():
+    def kernel(comm):
+        timer = obs.enable(comm)
+        with obs.phase("work"):
+            comm.allreduce(1)
+        obs.disable()
+        return timer.reduce()
+
+    reduced = run_spmd(2, kernel)
+    assert reduced[0] == reduced[1]
+    assert reduced[0]["work"]["ranks_present"] == 2
+
+
+def test_reduce_without_comm_returns_none():
+    assert PhaseTimer().reduce() is None
+
+
+# -- imbalance reduction -----------------------------------------------------
+
+
+def _rank_result(wall, counters=None):
+    return {
+        "slow": {
+            "count": 1,
+            "wall_s": wall,
+            "self_s": wall,
+            "p2p_messages": 0,
+            "p2p_bytes": 0,
+            "collective_calls": 0,
+            "collective_bytes": 0,
+            "flops": 0.0,
+            "counters": dict(counters or {}),
+        }
+    }
+
+
+def test_imbalance_min_median_max_sum():
+    per_rank = [_rank_result(w) for w in (1.0, 2.0, 3.0, 10.0)]
+    stats = obs.imbalance(per_rank)["slow"]
+    assert stats["wall_s"] == {"min": 1.0, "median": 2.5, "max": 10.0, "sum": 16.0}
+    assert stats["imbalance"] == pytest.approx(10.0 / 2.5)
+    assert stats["ranks_present"] == 4
+    assert stats["count"] == 4
+
+
+def test_imbalance_missing_rank_contributes_zero():
+    per_rank = [_rank_result(2.0), {}]
+    stats = obs.imbalance(per_rank)["slow"]
+    assert stats["wall_s"]["min"] == 0
+    assert stats["wall_s"]["max"] == 2.0
+    assert stats["ranks_present"] == 1
+
+
+def test_imbalance_sums_counters_across_ranks():
+    per_rank = [
+        _rank_result(1.0, {"refined": 3}),
+        _rank_result(1.0, {"refined": 5, "coarsened": 2}),
+    ]
+    stats = obs.imbalance(per_rank)["slow"]
+    assert stats["counters"] == {"refined": 8, "coarsened": 2}
