@@ -27,6 +27,16 @@ import numpy as np
 
 __all__ = ["mark_elements", "MarkResult"]
 
+#: Threshold comparisons run on indicators quantized to this many buckets
+#: of ``eta / max(eta)``.  Distributed indicator evaluation carries tiny
+#: rank-count-dependent rounding noise (~1e-11 relative, from the order
+#: of ghost-exchange summation); the bisection converges its threshold
+#: right into the data, so an unquantized ``eta > theta`` comparison can
+#: flip a marginal mark when the rank count changes.  On a 2^-24 grid the
+#: noise is ~4 orders of magnitude below the bucket width, making marks
+#: deterministic and rank-count-invariant.
+_QSCALE = 2.0**24
+
 
 @dataclass
 class MarkResult:
@@ -98,6 +108,8 @@ def mark_elements(
     can_refine = levels < max_level
     can_coarsen = levels > min_level
     iterations = 0
+    # quantized indicator: all threshold tests are exact integer compares
+    qeta = np.floor(eta / emax * _QSCALE)
 
     # -- phase 1: refinement threshold ------------------------------------
     deficit = target - n_global
@@ -109,7 +121,7 @@ def mark_elements(
         for _ in range(max_iterations):
             iterations += 1
             s = 0.5 * (lo + hi)
-            refine = (eta > emax * s) & can_refine
+            refine = (qeta > np.floor(s * _QSCALE)) & can_refine
             r = _gsum(comm, refine.sum())
             if best is None or abs(r - want) < abs(best[0] - want):
                 best = (r, refine, s)
@@ -123,7 +135,7 @@ def mark_elements(
         theta_r = emax * s_r
     else:
         theta_r = emax * refine_frac
-        refine = (eta > theta_r) & can_refine
+        refine = (qeta > np.floor(refine_frac * _QSCALE)) & can_refine
         r = _gsum(comm, refine.sum())
         # churn cap: following the solution must not blow the budget —
         # if the fixed threshold marks more than ~25% of the target's
@@ -135,7 +147,7 @@ def mark_elements(
             for _ in range(max_iterations):
                 iterations += 1
                 s = 0.5 * (lo + hi)
-                refine = (eta > emax * s) & can_refine
+                refine = (qeta > np.floor(s * _QSCALE)) & can_refine
                 r = _gsum(comm, refine.sum())
                 if abs(r - cap) < abs(best[0] - cap):
                     best = (r, refine, s)
@@ -153,7 +165,7 @@ def mark_elements(
     base = n_global + 7 * r_count
 
     def expected(theta_c: float):
-        coarsen = (eta < theta_c) & can_coarsen & ~refine
+        coarsen = (qeta < np.floor(theta_c / emax * _QSCALE)) & can_coarsen & ~refine
         c = _gsum(comm, coarsen.sum())
         return base - 7 * (c // 8), coarsen
 

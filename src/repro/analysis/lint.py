@@ -127,8 +127,19 @@ R3_PACKAGES = ("fem", "solvers", "mangll")
 
 #: module stems PR 1 vectorized — R4 (hot-loop hygiene) applies here;
 #: matfree joined in PR 4 (the sum-factorized apply engine is the hottest
-#: loop in the code and must stay loop-free outside annotated exceptions)
-R4_MODULES = {"assembly", "amg", "dg", "transfer", "matfree"}
+#: loop in the code and must stay loop-free outside annotated exceptions);
+#: traverse / faces / recursive joined in PR 6 (the recursive forest
+#: algorithms on the AMR hot path are breadth-first vectorized)
+R4_MODULES = {
+    "assembly",
+    "amg",
+    "dg",
+    "transfer",
+    "matfree",
+    "traverse",
+    "faces",
+    "recursive",
+}
 
 #: path fragments where R5 (serialization determinism) is enforced —
 #: the state-serializing subsystem, where byte layout = dict order

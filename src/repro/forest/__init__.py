@@ -7,8 +7,10 @@ from .connectivity import (
     unit_cube,
 )
 from .cubed_sphere import RadialProjectionGeometry, cap_axes, cubed_sphere_connectivity
+from .faces import FaceClassification, match_faces
 from .forest import Forest
-from .parforest import FOREST_MAX_LEVEL, ParForest, forest_key
+from .parforest import FOREST_MAX_LEVEL, ParForest, forest_key, sample_queries
+from .recursive import balance_forest_recursive, ghost_recursive
 
 __all__ = [
     "Connectivity",
@@ -22,4 +24,9 @@ __all__ = [
     "ParForest",
     "FOREST_MAX_LEVEL",
     "forest_key",
+    "sample_queries",
+    "ghost_recursive",
+    "balance_forest_recursive",
+    "FaceClassification",
+    "match_faces",
 ]

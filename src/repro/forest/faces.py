@@ -1,0 +1,165 @@
+"""Recursive face iteration: classify every (element, face) pair of a
+complete 2:1-balanced forest by sort-merge joins on face descriptors.
+
+The DG face builder originally classified faces by geometric containment
+probes: sample the center of every same-size neighbor region and run a
+top-down ``neighbor_leaf`` search per (tree, direction), plus four more
+quarter probes per coarse face.  This module is the p4est-``iterate``
+style replacement: each element face becomes a descriptor
+``(tree, plane, u, v, level)``; same-size faces pair up by an exact join
+of plus-faces against minus-faces, and half-size faces pair up by joining
+the fine face's coarse-aligned key ``(tree, plane, u & ~(2h-1),
+v & ~(2h-1), level - 1)`` against the native coarse keys.  Leaves
+partition space, so the two joins are mutually exclusive and — on a
+complete, face-2:1-balanced forest — exhaustive; an unmatched in-tree
+face is a structural error and raises.
+
+Cross-tree faces (rotated frames) are only *detected* here (``valid``
+without ``same``); the DG builder routes them through its per-face
+mortar path, exactly as the probe classifier does.  Connectivities with
+a tree face glued to itself (periodic self-connection) are not
+supported — neither are they by the probe path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..octree import ROOT_LEN
+from ..octree.faces import row_lookup
+
+__all__ = ["FaceClassification", "match_faces"]
+
+
+@dataclass
+class FaceClassification:
+    """Per-(element, face) classification, probe-compatible.
+
+    ``subs[e, f, q]`` holds the four half-size neighbors of a coarse
+    face in quadrant order ``q = 2*j2 + j1`` (j1 along the lower
+    tangential axis) — the order the quarter probes are sampled in.
+    """
+
+    valid: np.ndarray  # (ne, 6) a neighbor exists (in-tree or cross-tree)
+    same: np.ndarray  # (ne, 6) neighbor is in the same tree
+    idrive: np.ndarray  # (ne, 6) this element's face drives the quadrature
+    coarse: np.ndarray  # (ne, 6) four half-size neighbors drive
+    g_nb: np.ndarray  # (ne, 6) neighbor element index for idrive faces
+    subs: np.ndarray  # (ne, 6, 4) fine neighbor indices for coarse faces
+
+
+def match_faces(tids: np.ndarray, octs, conn) -> FaceClassification:
+    """Classify all faces of the flattened forest ``(tids, octs)``.
+
+    ``octs`` is the tree-major concatenation of per-tree leaves and
+    ``tids`` the tree id per element; indices in the result refer to this
+    flattened ordering (the DG builder's global element index).
+    """
+    ne = len(octs)
+    lvl = octs.level.astype(np.int64)
+    h = octs.lengths().astype(np.int64)
+    anchors = np.stack([octs.x, octs.y, octs.z], axis=1).astype(np.int64)
+    tid64 = tids.astype(np.int64)
+
+    valid = np.zeros((ne, 6), dtype=bool)
+    same = np.zeros((ne, 6), dtype=bool)
+    idrive = np.zeros((ne, 6), dtype=bool)
+    coarse = np.zeros((ne, 6), dtype=bool)
+    g_nb = np.zeros((ne, 6), dtype=np.int64)
+    subs = np.full((ne, 6, 4), -1, dtype=np.int64)
+
+    has_conn = np.array(
+        [[fc is not None for fc in fcs] for fcs in conn.face_connections],
+        dtype=bool,
+    )
+
+    for axis in range(3):
+        t1, t2 = [a2 for a2 in range(3) if a2 != axis]
+        fm, fp = 2 * axis, 2 * axis + 1
+        lo_bound = anchors[:, axis] == 0
+        hi_bound = anchors[:, axis] + h == ROOT_LEN
+        # tree-boundary faces: cross-tree when connected, else boundary
+        valid[lo_bound, fm] = has_conn[tid64[lo_bound], fm]
+        valid[hi_bound, fp] = has_conn[tid64[hi_bound], fp]
+
+        ip = np.flatnonzero(~hi_bound)  # elements with an in-tree plus face
+        im = np.flatnonzero(~lo_bound)  # ... minus face
+        pcols = (
+            tid64[ip],
+            anchors[ip, axis] + h[ip],
+            anchors[ip, t1],
+            anchors[ip, t2],
+            lvl[ip],
+        )
+        mcols = (
+            tid64[im],
+            anchors[im, axis],
+            anchors[im, t1],
+            anchors[im, t2],
+            lvl[im],
+        )
+
+        # conforming: identical plane, tangential anchor and level
+        j = row_lookup(pcols, mcols)
+        hit = j >= 0
+        ep, em = ip[hit], im[j[hit]]
+        valid[ep, fp] = same[ep, fp] = idrive[ep, fp] = True
+        g_nb[ep, fp] = em
+        valid[em, fm] = same[em, fm] = idrive[em, fm] = True
+        g_nb[em, fm] = ep
+
+        # half-size, fine plus vs coarse minus: round the fine face's
+        # tangential anchor down to the coarse grid and drop one level
+        fpc = (
+            tid64[ip],
+            anchors[ip, axis] + h[ip],
+            anchors[ip, t1] & ~(2 * h[ip] - 1),
+            anchors[ip, t2] & ~(2 * h[ip] - 1),
+            lvl[ip] - 1,
+        )
+        j = row_lookup(fpc, mcols)
+        hit = j >= 0
+        ep, em = ip[hit], im[j[hit]]
+        valid[ep, fp] = same[ep, fp] = idrive[ep, fp] = True
+        g_nb[ep, fp] = em
+        valid[em, fm] = same[em, fm] = coarse[em, fm] = True
+        q = 2 * ((anchors[ep, t2] - anchors[em, t2]) // h[ep]) + (
+            anchors[ep, t1] - anchors[em, t1]
+        ) // h[ep]
+        subs[em, fm, q] = ep
+
+        # half-size, fine minus vs coarse plus
+        fmc = (
+            tid64[im],
+            anchors[im, axis],
+            anchors[im, t1] & ~(2 * h[im] - 1),
+            anchors[im, t2] & ~(2 * h[im] - 1),
+            lvl[im] - 1,
+        )
+        j = row_lookup(fmc, pcols)
+        hit = j >= 0
+        em2, ep2 = im[hit], ip[j[hit]]
+        valid[em2, fm] = same[em2, fm] = idrive[em2, fm] = True
+        g_nb[em2, fm] = ep2
+        valid[ep2, fp] = same[ep2, fp] = coarse[ep2, fp] = True
+        q = 2 * ((anchors[em2, t2] - anchors[ep2, t2]) // h[em2]) + (
+            anchors[em2, t1] - anchors[ep2, t1]
+        ) // h[em2]
+        subs[ep2, fp, q] = em2
+
+        if not (
+            (idrive[ip, fp] | coarse[ip, fp]).all()
+            and (idrive[im, fm] | coarse[im, fm]).all()
+        ):
+            raise AssertionError(
+                "unmatched in-tree face: forest is not complete and "
+                "2:1 face-balanced"
+            )
+
+    if np.any(subs[coarse] < 0):
+        raise AssertionError("coarse face with fewer than 4 fine neighbors")
+    return FaceClassification(
+        valid=valid, same=same, idrive=idrive, coarse=coarse, g_nb=g_nb, subs=subs
+    )

@@ -33,7 +33,7 @@ from ..parallel import SimComm
 from .connectivity import Connectivity
 from .forest import Forest
 
-__all__ = ["ParForest", "FOREST_MAX_LEVEL", "forest_key"]
+__all__ = ["ParForest", "FOREST_MAX_LEVEL", "forest_key", "sample_queries"]
 
 #: Deepest level supported by the distributed forest encoding.
 FOREST_MAX_LEVEL = 19
@@ -160,57 +160,30 @@ class ParForest:
         """(query_fkeys, query_levels) of all neighbor sample points of
         local leaves: within-tree for all directions, cross-tree through
         faces (exact lattice transforms)."""
-        dirs = directions_for(connectivity)
-        face_dirs = directions_for("face")
-        qf, ql = [], []
-        for t in np.unique(self.tree_ids):
-            sel = self.tree_ids == t
-            leaves = self.octs[sel]
-            h = leaves.lengths()
-            levels = leaves.level.astype(np.int64)
-            for d in dirs:
-                nx, ny, nz, ok = leaves.neighbor_anchors(d)
-                if ok.any():
-                    keys = morton_encode(
-                        nx[ok] + h[ok] // 2, ny[ok] + h[ok] // 2, nz[ok] + h[ok] // 2
-                    )
-                    qf.append(forest_key(np.full(int(ok.sum()), t), keys))
-                    ql.append(levels[ok])
-            # cross-tree: points beyond exactly one face
-            for d in face_dirs:
-                axis = int(np.flatnonzero(d)[0])
-                side = 1 if d[axis] > 0 else 0
-                fc = self.conn.face_connections[t][2 * axis + side]
-                if fc is None:
-                    continue
-                nx, ny, nz, ok = leaves.neighbor_anchors(d)
-                out = ~ok
-                if not out.any():
-                    continue
-                pts = np.stack(
-                    [nx[out] + h[out] // 2, ny[out] + h[out] // 2, nz[out] + h[out] // 2],
-                    axis=1,
-                )
-                # keep only single-face exits (edge/corner exits of the
-                # forest are face-balanced transitively)
-                bad = ((pts < 0) | (pts >= ROOT_LEN)).sum(axis=1)
-                sel1 = bad == 1
-                if not sel1.any():
-                    continue
-                q = fc.transform(pts[sel1])
-                keys = morton_encode(q[:, 0], q[:, 1], q[:, 2])
-                qf.append(
-                    forest_key(np.full(int(sel1.sum()), fc.neighbor_tree), keys)
-                )
-                ql.append(levels[out][sel1])
-        if qf:
-            return np.concatenate(qf), np.concatenate(ql)
-        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+        return sample_queries(self.tree_ids, self.octs, self.conn, connectivity)
 
-    def balance(self, connectivity: str = "edge", max_rounds: int = 64) -> tuple["ParForest", int]:
-        """Distributed ripple balance across and within trees (recorded
-        under the ``amr/balance`` phase when an obs timer is bound)."""
+    def balance(
+        self,
+        connectivity: str = "edge",
+        max_rounds: int = 64,
+        algorithm: str = "search",
+    ) -> tuple["ParForest", int]:
+        """Distributed 2:1 balance across and within trees (recorded
+        under the ``amr/balance`` phase when an obs timer is bound).
+
+        ``algorithm="search"`` is the ripple (one alltoall round per
+        propagated level); ``"recursive"`` is the low-collective variant
+        of :mod:`repro.forest.recursive` — same forest, bitwise."""
         with obs.phase("amr/balance"):
+            if algorithm == "recursive":
+                from .recursive import balance_forest_recursive
+
+                pf, added, _ = balance_forest_recursive(
+                    self, connectivity, max_rounds
+                )
+                return pf, added
+            if algorithm != "search":
+                raise ValueError(f"unknown balance algorithm {algorithm!r}")
             return self._balance_impl(connectivity, max_rounds)
 
     def _balance_impl(self, connectivity: str, max_rounds: int) -> tuple["ParForest", int]:
@@ -314,3 +287,62 @@ class ParForest:
                 )
             )
         return Forest(self.conn, trees)
+
+
+def sample_queries(
+    tree_ids: np.ndarray,
+    octs: OctantArray,
+    conn: Connectivity,
+    connectivity: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(query_fkeys, query_levels) of all neighbor sample points of the
+    given leaves: within-tree for all directions of ``connectivity``,
+    cross-tree through faces (exact lattice transforms).
+
+    Shared by the ripple balance (on local leaves) and the recursive
+    balance (also on received remote boundary leaves), so both paths mark
+    from identical sample sets."""
+    dirs = directions_for(connectivity)
+    face_dirs = directions_for("face")
+    qf, ql = [], []
+    for t in np.unique(tree_ids):
+        sel = tree_ids == t
+        leaves = octs[sel]
+        h = leaves.lengths()
+        levels = leaves.level.astype(np.int64)
+        for d in dirs:
+            nx, ny, nz, ok = leaves.neighbor_anchors(d)
+            if ok.any():
+                keys = morton_encode(
+                    nx[ok] + h[ok] // 2, ny[ok] + h[ok] // 2, nz[ok] + h[ok] // 2
+                )
+                qf.append(forest_key(np.full(int(ok.sum()), t), keys))
+                ql.append(levels[ok])
+        # cross-tree: points beyond exactly one face
+        for d in face_dirs:
+            axis = int(np.flatnonzero(d)[0])
+            side = 1 if d[axis] > 0 else 0
+            fc = conn.face_connections[t][2 * axis + side]
+            if fc is None:
+                continue
+            nx, ny, nz, ok = leaves.neighbor_anchors(d)
+            out = ~ok
+            if not out.any():
+                continue
+            pts = np.stack(
+                [nx[out] + h[out] // 2, ny[out] + h[out] // 2, nz[out] + h[out] // 2],
+                axis=1,
+            )
+            # keep only single-face exits (edge/corner exits of the
+            # forest are face-balanced transitively)
+            bad = ((pts < 0) | (pts >= ROOT_LEN)).sum(axis=1)
+            sel1 = bad == 1
+            if not sel1.any():
+                continue
+            q = fc.transform(pts[sel1])
+            keys = morton_encode(q[:, 0], q[:, 1], q[:, 2])
+            qf.append(forest_key(np.full(int(sel1.sum()), fc.neighbor_tree), keys))
+            ql.append(levels[out][sel1])
+    if qf:
+        return np.concatenate(qf), np.concatenate(ql)
+    return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)

@@ -97,6 +97,12 @@ class DGAdvection:
         face direction); only cross-tree faces go through the per-face
         loop.  False forces the per-face loop everywhere — the
         pre-vectorization path, kept as the equivalence oracle.
+    face_algorithm:
+        ``"recursive"`` (default) classifies same-tree faces by
+        descriptor sort-merge joins (:func:`repro.forest.faces.match_faces`)
+        instead of per-direction containment probes; ``"search"`` keeps
+        the probe classifier.  Bitwise-identical operators; only the
+        batched path is affected.
     """
 
     def __init__(
@@ -107,12 +113,16 @@ class DGAdvection:
         inflow: Callable[[np.ndarray], np.ndarray] | None = None,
         variant: str = "tensor",
         batch_faces: bool = True,
+        face_algorithm: str = "recursive",
     ):
         self.forest = forest
         self.conn: Connectivity = forest.conn
         self.p = p
         self.variant = variant
         self.batch_faces = batch_faces
+        if face_algorithm not in ("recursive", "search"):
+            raise ValueError(f"unknown face algorithm {face_algorithm!r}")
+        self.face_algorithm = face_algorithm
         self.kern = DerivativeKernel(p)
         n = p + 1
         self.n = n
@@ -426,27 +436,39 @@ class DGAdvection:
         w2 = np.einsum("i,j->ij", self.kern.weights, self.kern.weights).ravel()
         eye = np.eye(n2)
 
-        # one probe per (tree, direction) classifies all faces at once
-        t_nb = np.full((ne, 6), -1, dtype=np.int64)
-        g_nb = np.zeros((ne, 6), dtype=np.int64)
-        utrees = np.unique(tids)
-        for f in range(6):
-            axis, side = _FACE_AXIS_SIDE[f]
-            d = np.zeros(3, dtype=np.int64)
-            d[axis] = 1 if side else -1
-            centers = ai + (hi // 2)[:, None] + d[None, :] * hi[:, None]
-            for t in utrees:
-                sel = np.flatnonzero(tids == t)
-                tt, ll = self.forest.neighbor_leaf(int(t), centers[sel])
-                t_nb[sel, f] = tt
-                ok = tt >= 0
-                g_nb[sel[ok], f] = self._offsets[tt[ok]] + ll[ok]
+        if self.face_algorithm == "recursive":
+            # sort-merge joins on face descriptors classify every face —
+            # and resolve coarse-face sub-neighbors — with no probes
+            from ..forest.faces import match_faces
 
-        valid = t_nb >= 0
-        same = valid & (t_nb == tids[:, None])
-        nblvl = lvl[g_nb]
-        idrive = same & (nblvl <= lvl[:, None])
-        coarse = same & (nblvl > lvl[:, None])
+            fcls = match_faces(tids, octs, self.conn)
+            valid, same = fcls.valid, fcls.same
+            idrive, coarse = fcls.idrive, fcls.coarse
+            g_nb, subs_all = fcls.g_nb, fcls.subs
+        else:
+            # one probe per (tree, direction) classifies all faces at once
+            t_nb = np.full((ne, 6), -1, dtype=np.int64)
+            g_nb = np.zeros((ne, 6), dtype=np.int64)
+            utrees = np.unique(tids)
+            for f in range(6):
+                axis, side = _FACE_AXIS_SIDE[f]
+                d = np.zeros(3, dtype=np.int64)
+                d[axis] = 1 if side else -1
+                centers = ai + (hi // 2)[:, None] + d[None, :] * hi[:, None]
+                for t in utrees:
+                    sel = np.flatnonzero(tids == t)
+                    tt, ll = self.forest.neighbor_leaf(int(t), centers[sel])
+                    t_nb[sel, f] = tt
+                    ok = tt >= 0
+                    g_nb[sel[ok], f] = self._offsets[tt[ok]] + ll[ok]
+
+            valid = t_nb >= 0
+            same = valid & (t_nb == tids[:, None])
+            nblvl = lvl[g_nb]
+            idrive = same & (nblvl <= lvl[:, None])
+            coarse = same & (nblvl > lvl[:, None])
+            subs_all = None
+
         fallback: list[tuple[int, int]] = [
             (int(e), int(f)) for e, f in zip(*np.nonzero(valid & ~same))
         ]
@@ -508,30 +530,39 @@ class DGAdvection:
             # coarse-side faces: each of the 4 fine neighbors drives
             E = np.flatnonzero(coarse[:, f])
             if len(E):
-                d = np.zeros(3, dtype=np.int64)
-                d[axis] = 1 if side else -1
-                base = (
-                    ai[E]
-                    + (hi[E] // 2)[:, None]
-                    + d[None, :] * (hi[E] // 2 + hi[E] // 4)[:, None]
-                )
-                subs = []
-                okall = np.ones(len(E), dtype=bool)
-                for j2 in range(2):
-                    for j1 in range(2):
-                        q = base.copy()
-                        q[:, t1] = ai[E, t1] + hi[E] // 4 + j1 * (hi[E] // 2)
-                        q[:, t2] = ai[E, t2] + hi[E] // 4 + j2 * (hi[E] // 2)
-                        tq = np.full(len(E), -1, dtype=np.int64)
-                        gq = np.zeros(len(E), dtype=np.int64)
-                        for t in np.unique(tids[E]):
-                            s = np.flatnonzero(tids[E] == t)
-                            tt, ll = self.forest.neighbor_leaf(int(t), q[s])
-                            tq[s] = tt
-                            ok = tt >= 0
-                            gq[s[ok]] = self._offsets[tt[ok]] + ll[ok]
-                        subs.append((tq, gq))
-                        okall &= tq == tids[E]
+                if subs_all is not None:
+                    # matched path: sub-neighbors already resolved, always
+                    # in-tree (cross-tree coarse faces went to fallback)
+                    subs = [
+                        (tids[subs_all[E, f, q]], subs_all[E, f, q])
+                        for q in range(4)
+                    ]
+                    okall = np.ones(len(E), dtype=bool)
+                else:
+                    d = np.zeros(3, dtype=np.int64)
+                    d[axis] = 1 if side else -1
+                    base = (
+                        ai[E]
+                        + (hi[E] // 2)[:, None]
+                        + d[None, :] * (hi[E] // 2 + hi[E] // 4)[:, None]
+                    )
+                    subs = []
+                    okall = np.ones(len(E), dtype=bool)
+                    for j2 in range(2):
+                        for j1 in range(2):
+                            q = base.copy()
+                            q[:, t1] = ai[E, t1] + hi[E] // 4 + j1 * (hi[E] // 2)
+                            q[:, t2] = ai[E, t2] + hi[E] // 4 + j2 * (hi[E] // 2)
+                            tq = np.full(len(E), -1, dtype=np.int64)
+                            gq = np.zeros(len(E), dtype=np.int64)
+                            for t in np.unique(tids[E]):
+                                s = np.flatnonzero(tids[E] == t)
+                                tt, ll = self.forest.neighbor_leaf(int(t), q[s])
+                                tq[s] = tt
+                                ok = tt >= 0
+                                gq[s[ok]] = self._offsets[tt[ok]] + ll[ok]
+                            subs.append((tq, gq))
+                            okall &= tq == tids[E]
                 Eb = E[okall]
                 if len(Eb):
                     for tq, gq in subs:

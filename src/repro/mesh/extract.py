@@ -215,11 +215,17 @@ def _find_hanging_constraints(
     coords: np.ndarray,
     keys: np.ndarray,
     elements,  # OctantArray of the leaves
+    face_algorithm: str = "search",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Identify hanging nodes and their direct parent lists.
 
     Returns ``(child_idx, parent_idx, weight)`` COO triplets where
     ``child_idx`` are node indices of hanging nodes (repeated per parent).
+
+    ``face_algorithm`` selects how candidate node keys are resolved:
+    ``"search"`` binary-searches the sorted key array per candidate,
+    ``"recursive"`` answers all candidates in one stable merge
+    (:func:`repro.octree.faces.merge_lookup`).  Identical results.
     """
     h = elements.lengths()
     if len(h) and int(h.min()) < 2:
@@ -229,13 +235,25 @@ def _find_hanging_constraints(
     key_sorter = np.argsort(keys)
     keys_sorted = keys[key_sorter]
 
-    def lookup(cand_keys: np.ndarray) -> np.ndarray:
-        """Node index of each key, or -1 if not a mesh node."""
-        pos = np.searchsorted(keys_sorted, cand_keys)
-        pos_c = np.clip(pos, 0, len(keys_sorted) - 1)
-        hit = keys_sorted[pos_c] == cand_keys
-        out = np.where(hit, key_sorter[pos_c], -1)
-        return out
+    if face_algorithm == "recursive":
+        from ..octree.faces import merge_lookup
+
+        def lookup(cand_keys: np.ndarray) -> np.ndarray:
+            """Node index of each key, or -1 if not a mesh node."""
+            return merge_lookup(keys_sorted, key_sorter, cand_keys)
+
+    elif face_algorithm == "search":
+
+        def lookup(cand_keys: np.ndarray) -> np.ndarray:
+            """Node index of each key, or -1 if not a mesh node."""
+            pos = np.searchsorted(keys_sorted, cand_keys)
+            pos_c = np.clip(pos, 0, len(keys_sorted) - 1)
+            hit = keys_sorted[pos_c] == cand_keys
+            out = np.where(hit, key_sorter[pos_c], -1)
+            return out
+
+    else:
+        raise ValueError(f"unknown face algorithm {face_algorithm!r}")
 
     children, parents, weights = [], [], []
 
@@ -283,17 +301,21 @@ def _find_hanging_constraints(
     return child, parent, weight
 
 
-def extract_mesh(tree: _LinearOctree, domain=(1.0, 1.0, 1.0)) -> Mesh:
+def extract_mesh(
+    tree: _LinearOctree, domain=(1.0, 1.0, 1.0), *, face_algorithm: str = "search"
+) -> Mesh:
     """Extract the hexahedral mesh and hanging-node constraints.
 
     ``tree`` must be complete and fully (corner-)balanced.
     """
-    mesh = extract_submesh(tree.leaves, domain)
+    mesh = extract_submesh(tree.leaves, domain, face_algorithm=face_algorithm)
     mesh.tree = tree
     return mesh
 
 
-def extract_submesh(leaves, domain=(1.0, 1.0, 1.0)) -> Mesh:
+def extract_submesh(
+    leaves, domain=(1.0, 1.0, 1.0), *, face_algorithm: str = "search"
+) -> Mesh:
     """Extract a mesh from an arbitrary (sorted, fully balanced) octant
     set — the local + ghost element union of a distributed mesh.
 
@@ -315,7 +337,9 @@ def extract_submesh(leaves, domain=(1.0, 1.0, 1.0)) -> Mesh:
     coords = np.stack([x, y, z], axis=1)
     n_nodes = len(keys)
 
-    child, parent, weight = _find_hanging_constraints(coords, keys, leaves)
+    child, parent, weight = _find_hanging_constraints(
+        coords, keys, leaves, face_algorithm
+    )
     hanging = np.zeros(n_nodes, dtype=bool)
     hanging[child] = True
 

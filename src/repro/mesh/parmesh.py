@@ -29,18 +29,93 @@ from ..octree.partree import ParTree, owners_of_keys, partition_markers
 from ..parallel import SimComm
 from .extract import Mesh, extract_submesh, node_keys
 
-__all__ = ["ParMesh", "extract_parmesh", "collect_ghosts", "par_interpolate_at"]
+__all__ = [
+    "ParMesh",
+    "extract_parmesh",
+    "collect_ghosts",
+    "par_interpolate_at",
+    "UnbalancedTreeError",
+]
 
 
-def collect_ghosts(pt: ParTree) -> tuple[OctantArray, np.ndarray]:
+class UnbalancedTreeError(RuntimeError):
+    """Raised under ``REPRO_SANITIZE=1`` when ghost collection is
+    attempted on a tree that violates corner 2:1 balance — the sampled
+    ghost layer would silently be incomplete."""
+
+    def __init__(self, violations: int):
+        self.violations = violations
+        super().__init__(
+            "collect_ghosts requires a corner-balanced tree: "
+            f"{violations} 2:1 balance violation(s) in the gathered tree"
+        )
+
+
+def _check_corner_balanced(pt: ParTree) -> None:
+    """Sanitizer: verify the global tree is corner-balanced before ghost
+    collection.  Collective (allgather) and symmetric — every rank sees
+    the same violation count and raises together."""
+    from ..analysis.sanitize import sanitize_enabled
+
+    if not sanitize_enabled():
+        return
+    from ..octree.balance import balance_violations
+    from ..octree.partree import gather_tree
+
+    violations = balance_violations(gather_tree(pt), "corner")
+    if violations:
+        raise UnbalancedTreeError(violations)
+
+
+def _adjacency_filter(
+    local: OctantArray, ghosts: OctantArray, own: np.ndarray
+) -> tuple[OctantArray, np.ndarray]:
+    """Trim ghost candidates to the exact 26-adjacency layer: keep a
+    ghost iff its closed box shares at least a point with some local
+    leaf's closed box.  The child-center sampling can pick up near-miss
+    leaves (far-half children of a neighbor region that only *contains* a
+    sample, without touching the sampler); filtering makes the search
+    path emit the same canonical layer as the recursive path."""
+    if not len(ghosts) or not len(local):
+        return ghosts, own
+    llo = np.stack([local.x, local.y, local.z], axis=1)
+    lhi = llo + local.lengths()[:, None]
+    glo = np.stack([ghosts.x, ghosts.y, ghosts.z], axis=1)
+    ghi = glo + ghosts.lengths()[:, None]
+    keep = np.zeros(len(ghosts), dtype=bool)
+    step = max(1, 2_000_000 // max(len(local), 1))
+    for s in range(0, len(ghosts), step):
+        e = s + step
+        touch = (glo[s:e, None, :] <= lhi[None, :, :]) & (
+            ghi[s:e, None, :] >= llo[None, :, :]
+        )
+        keep[s:e] = touch.all(axis=2).any(axis=1)
+    return ghosts[keep], own[keep]
+
+
+def collect_ghosts(
+    pt: ParTree, algorithm: str = "search"
+) -> tuple[OctantArray, np.ndarray]:
     """Gather the ghost layer: all remote leaves adjacent (26-connectivity)
     to local leaves.
 
-    Requires a fully (corner-)balanced tree so that sampling the 8
-    child-centers of every same-size neighbor region finds every adjacent
-    leaf.  Returns ``(ghosts, ghost_owner_ranks)``, ghosts sorted and
-    deduplicated.
+    Requires a fully (corner-)balanced tree (checked under
+    ``REPRO_SANITIZE=1``): the mesh layer needs one-deep ghost layers,
+    and the search path's child-center sampling finds every adjacent leaf
+    only on balanced trees.  ``algorithm="search"`` samples 26 directions
+    x 8 child centers and pays a query/reply alltoall pair;
+    ``"recursive"`` computes exact per-rank adjacency by marker recursion
+    (:func:`repro.forest.recursive.ghost_recursive`) and ships boundary
+    leaves in a single alltoall.  Both return the identical (bitwise)
+    exact adjacency layer ``(ghosts, ghost_owner_ranks)``, sorted by key.
     """
+    _check_corner_balanced(pt)
+    if algorithm == "recursive":
+        from ..forest.recursive import ghost_recursive
+
+        return ghost_recursive(pt)
+    if algorithm != "search":
+        raise ValueError(f"unknown ghost algorithm {algorithm!r}")
     comm = pt.comm
     local = pt.local
     markers = partition_markers(comm, local)
@@ -101,7 +176,7 @@ def collect_ghosts(pt: ParTree) -> tuple[OctantArray, np.ndarray]:
     own = own[order]
     keep = np.ones(len(ghosts), dtype=bool)
     keep[1:] = ghosts.keys()[1:] != ghosts.keys()[:-1]
-    return ghosts[keep], own[keep]
+    return _adjacency_filter(local, ghosts[keep], own[keep])
 
 
 @dataclass
@@ -178,11 +253,22 @@ class ParMesh:
         return out
 
 
-def extract_parmesh(pt: ParTree, domain=(1.0, 1.0, 1.0)) -> ParMesh:
+def extract_parmesh(
+    pt: ParTree,
+    domain=(1.0, 1.0, 1.0),
+    *,
+    ghost_algorithm: str = "search",
+    face_algorithm: str = "search",
+) -> ParMesh:
     """Parallel EXTRACTMESH: ghost layer, union submesh, node ownership,
-    global numbering, and the shared-dof exchange plan."""
+    global numbering, and the shared-dof exchange plan.
+
+    ``ghost_algorithm`` selects :func:`collect_ghosts`' strategy and
+    ``face_algorithm`` the hanging-constraint matcher of
+    :func:`~repro.mesh.extract.extract_submesh`; both pairs produce
+    bitwise-identical meshes."""
     comm = pt.comm
-    ghosts, ghost_owner = collect_ghosts(pt)
+    ghosts, ghost_owner = collect_ghosts(pt, ghost_algorithm)
     # union, sorted by Morton key; track ownership
     union = OctantArray.concat([pt.local, ghosts])
     owner_elem = np.concatenate(
@@ -193,7 +279,7 @@ def extract_parmesh(pt: ParTree, domain=(1.0, 1.0, 1.0)) -> ParMesh:
     owner_elem = owner_elem[order]
     owned_mask = owner_elem == comm.rank
 
-    mesh = extract_submesh(union, domain)
+    mesh = extract_submesh(union, domain, face_algorithm=face_algorithm)
 
     # node ownership: the rank whose leaf-key interval contains the node's
     # (clamped) position — i.e. the owner of the leaf the node sits on the

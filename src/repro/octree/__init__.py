@@ -18,6 +18,7 @@ from .morton import (
     morton_encode,
     octant_length,
 )
+from .faces import merge_lookup, row_lookup
 from .octants import DIRECTIONS, OctantArray, directions_for
 from .partree import (
     ParTree,
@@ -30,6 +31,13 @@ from .partree import (
     partition_markers,
     partition_tree,
     refine_tree,
+)
+from .traverse import (
+    balance_tree_recursive,
+    boundary_leaf_mask,
+    box_owner_pairs,
+    dilated_boxes,
+    ghost_destinations,
 )
 
 __all__ = [
@@ -58,4 +66,11 @@ __all__ = [
     "partition_markers",
     "owners_of_keys",
     "gather_tree",
+    "box_owner_pairs",
+    "dilated_boxes",
+    "boundary_leaf_mask",
+    "ghost_destinations",
+    "balance_tree_recursive",
+    "merge_lookup",
+    "row_lookup",
 ]

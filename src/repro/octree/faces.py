@@ -1,0 +1,79 @@
+"""Sort-merge join kernels for face iteration and node lookup.
+
+The original mesh-extraction and DG face code locate counterparts by
+per-candidate binary search (``searchsorted`` probes against a sorted key
+array, one probe per candidate).  These kernels replace that with single
+stable merge joins in the style of p4est's recursive ``iterate``: sort
+once, sweep once, answer every candidate in the same pass.  Both return
+exactly the probe results (-1 for misses), so callers are bitwise
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["merge_lookup", "row_lookup"]
+
+
+def merge_lookup(
+    keys_sorted: np.ndarray, key_sorter: np.ndarray, cand: np.ndarray
+) -> np.ndarray:
+    """Index (into the original unsorted key array) of each candidate
+    key, or -1 where absent.
+
+    ``keys_sorted = keys[key_sorter]`` must be strictly increasing
+    (unique keys); ``cand`` may repeat and be unsorted.  One stable
+    argsort of the concatenation puts each candidate directly after its
+    key (keys win ties because they come first), so a running maximum of
+    key positions answers every lookup without per-candidate probes.
+    """
+    out = np.full(len(cand), -1, dtype=np.int64)
+    if len(cand) == 0 or len(keys_sorted) == 0:
+        return out
+    n = len(keys_sorted)
+    order = np.argsort(np.concatenate([keys_sorted, cand]), kind="stable")
+    is_key = order < n
+    last = np.maximum.accumulate(np.where(is_key, order, -1))
+    cslot = np.flatnonzero(~is_key)
+    cidx = order[cslot] - n
+    li = last[cslot]
+    lic = np.maximum(li, 0)
+    hit = (li >= 0) & (keys_sorted[lic] == cand[cidx])
+    out[cidx[hit]] = key_sorter[li[hit]]
+    return out
+
+
+def row_lookup(a_cols: tuple, b_cols: tuple) -> np.ndarray:
+    """For each row of table A (a tuple of equal-length integer columns),
+    the index of the equal row in table B, or -1.
+
+    B's rows must be unique (each A row matches at most one).  A single
+    lexsort of the stacked tables — B rows first, so stability puts a B
+    row directly before its equal A rows — turns the join into one sweep.
+    """
+    na = len(a_cols[0])
+    nb = len(b_cols[0])
+    out = np.full(na, -1, dtype=np.int64)
+    if na == 0 or nb == 0:
+        return out
+    cols = [
+        np.concatenate([np.asarray(b), np.asarray(a)])
+        for a, b in zip(a_cols, b_cols)
+    ]
+    order = np.lexsort(tuple(cols[::-1]))  # cols[0] is the primary key
+    is_b = order < nb
+    # latest B row seen at each merged position: track the *slot* in the
+    # merged order (monotone), not the B row index (B is unsorted)
+    slots = np.arange(len(order), dtype=np.int64)
+    last = np.maximum.accumulate(np.where(is_b, slots, -1))
+    aslot = np.flatnonzero(~is_b)
+    aidx = order[aslot] - nb
+    ls = last[aslot]
+    hit = ls >= 0
+    li = np.zeros(len(ls), dtype=np.int64)
+    li[hit] = order[ls[hit]]
+    for a, b in zip(a_cols, b_cols):
+        hit &= np.asarray(b)[li] == np.asarray(a)[aidx]
+    out[aidx[hit]] = li[hit]
+    return out

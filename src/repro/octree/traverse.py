@@ -1,0 +1,291 @@
+"""Recursive partition-marker traversals (p4est-style, search-free).
+
+The search-based parallel kernels (:func:`~repro.octree.partree.balance_tree`,
+``collect_ghosts``) locate every neighbor by *sampling* candidate points
+and binary-searching sorted Morton arrays, paying one query/reply
+communication round (balance: one per propagated level).  Isaac,
+Burstedde, Wilcox & Ghattas ("Recursive Algorithms for Distributed
+Forests of Octrees") replace the sampling with top-down traversals of the
+partition markers: because each rank owns a *contiguous* Morton-key
+interval and no leaf straddles a marker, the set of ranks owning any
+axis-aligned box of finest-level cells can be computed locally by
+recursive bisection of the box — no communication at all.
+
+This module provides those kernels for the single-octree case:
+
+- :func:`box_owner_pairs` — all ``(item, rank)`` pairs such that ``rank``
+  owns at least one finest cell of ``item``'s inclusive coordinate box.
+  The recursion narrows the candidate rank range with the owners of the
+  box's Morton-extreme corners and splits at the highest differing
+  coordinate bit, so each box resolves in ``O(#ranks touched · levels)``.
+- :func:`ghost_destinations` — for every local leaf, the remote ranks
+  owning cells of its one-cell-dilated shell; by the marker-interval
+  structure these are exactly the ranks owning a 26-adjacent leaf.
+- :func:`balance_tree_recursive` — low-collective 2:1 balance: balance
+  the local subtree with zero communication, then exchange boundary
+  leaves with insulation-layer neighbors and re-balance until a single
+  convergence allreduce reports a global fixed point (typically two
+  exchanges, versus one alltoall round per propagated level for the
+  ripple).
+
+All kernels produce results bitwise identical to the search-based
+implementations: ghost destination sets are *exact* adjacency (not an
+over-approximation), and the 2:1 closure of a complete octree is unique,
+so the recursive balance reaches the same leaf set as the ripple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .morton import ROOT_LEN, morton_encode
+from .octants import OctantArray, directions_for
+from .partree import ParTree, owners_of_keys, partition_markers
+
+__all__ = [
+    "box_owner_pairs",
+    "dilated_boxes",
+    "boundary_leaf_mask",
+    "ghost_destinations",
+    "balance_tree_recursive",
+]
+
+
+def _owners(markers: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    return np.searchsorted(markers[1:-1], keys, side="right").astype(np.int64)
+
+
+def _msb(v: np.ndarray) -> np.ndarray:
+    """Highest set bit position of each int64 (exact; -1 where v == 0)."""
+    # frexp exponents are exact for values < 2**53; coordinates are < 2**22.
+    return np.frexp(v.astype(np.float64))[1].astype(np.int64) - 1
+
+
+def box_owner_pairs(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    items: np.ndarray,
+    markers: np.ndarray,
+    key_offsets: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All ``(item, rank)`` pairs such that ``rank`` owns >= 1 cell of the
+    item's inclusive box ``[lo[i], hi[i]]`` (coordinates in cell units).
+
+    ``key_offsets`` (uint64, per item) is OR-ed onto each Morton key —
+    used by the forest layer to embed per-tree boxes in the composite
+    ``(tree << 57) | reduced_key`` ordering.
+
+    The Morton key is monotone along each axis, so the keys of a box's
+    cells lie in ``[key(lo), key(hi)]`` and the owning ranks in
+    ``[owner(key(lo)), owner(key(hi))]``.  Equal corner owners resolve a
+    box immediately; otherwise the extreme owners are emitted (they own
+    the corner cells) and, if any rank lies strictly between them, the box
+    is split at the highest differing coordinate bit of its most
+    Morton-significant axis and both halves recurse.  The loop below runs
+    the recursion breadth-first over *all* boxes at once, so each level is
+    a handful of vectorized array ops.
+    """
+    lo = np.asarray(lo, dtype=np.int64).reshape(-1, 3).copy()
+    hi = np.asarray(hi, dtype=np.int64).reshape(-1, 3).copy()
+    items = np.asarray(items, dtype=np.int64)
+    if key_offsets is None:
+        offs = np.zeros(len(items), dtype=np.uint64)
+    else:
+        offs = np.asarray(key_offsets, dtype=np.uint64).copy()
+    out_items: list[np.ndarray] = []
+    out_ranks: list[np.ndarray] = []
+    while len(items):
+        kmin = offs | morton_encode(lo[:, 0], lo[:, 1], lo[:, 2])
+        kmax = offs | morton_encode(hi[:, 0], hi[:, 1], hi[:, 2])
+        omin = _owners(markers, kmin)
+        omax = _owners(markers, kmax)
+        out_items.append(items)
+        out_ranks.append(omin)
+        ne = omax != omin
+        if ne.any():
+            out_items.append(items[ne])
+            out_ranks.append(omax[ne])
+        # only boxes with ranks strictly between the corner owners recurse
+        split = omax > omin + 1
+        if not split.any():
+            break
+        lo, hi, items, offs = lo[split], hi[split], items[split], offs[split]
+        diff = lo ^ hi
+        msb = _msb(diff)
+        # Morton significance of axis a's bit b is 3*b + a (x interleaved
+        # least significant); split the most significant differing bit.
+        sig = np.where(diff > 0, 3 * msb + np.arange(3)[None, :], -1)
+        ax = np.argmax(sig, axis=1)
+        rows = np.arange(len(items))
+        m = msb[rows, ax]
+        sp = (hi[rows, ax] >> m) << m  # lowest hi-corner key with bit m set
+        left_hi = hi.copy()
+        left_hi[rows, ax] = sp - 1
+        right_lo = lo.copy()
+        right_lo[rows, ax] = sp
+        lo = np.concatenate([lo, right_lo])
+        hi = np.concatenate([left_hi, hi])
+        items = np.concatenate([items, items])
+        offs = np.concatenate([offs, offs])
+    if not out_items:
+        e = np.zeros(0, dtype=np.int64)
+        return e, e.copy()
+    it = np.concatenate(out_items)
+    rk = np.concatenate(out_ranks)
+    # dedup (item, rank) pairs, sorted by item then rank
+    code = it * np.int64(len(markers)) + rk
+    _, first = np.unique(code, return_index=True)
+    return it[first], rk[first]
+
+
+def dilated_boxes(octs: OctantArray, unit: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Inclusive coordinate boxes of each octant dilated by one ``unit``-
+    sized cell on every side, clamped to the root cube, in units of
+    ``unit`` finest cells.  (``unit=4`` gives the forest layer's reduced
+    level-19 grid.)  A remote rank owns a leaf 26-adjacent to the octant
+    iff it owns a cell of this box."""
+    n = ROOT_LEN // unit
+    x = octs.x // unit
+    y = octs.y // unit
+    z = octs.z // unit
+    h = octs.lengths() // unit
+    lo = np.stack([x, y, z], axis=1)
+    hi = np.minimum(lo + h[:, None], n - 1)
+    lo = np.maximum(lo - 1, 0)
+    return lo, hi
+
+
+def boundary_leaf_mask(
+    lo: np.ndarray, hi: np.ndarray, markers: np.ndarray, rank: int
+) -> np.ndarray:
+    """Leaves whose dilated box may touch a remote rank's interval: both
+    Morton-extreme corners owned locally means every box key is local, so
+    the (cheap, vectorized) screen keeps only true partition-boundary
+    leaves for the per-box recursion."""
+    kmin = morton_encode(lo[:, 0], lo[:, 1], lo[:, 2])
+    kmax = morton_encode(hi[:, 0], hi[:, 1], hi[:, 2])
+    return (_owners(markers, kmin) != rank) | (_owners(markers, kmax) != rank)
+
+
+def ghost_destinations(
+    local: OctantArray, markers: np.ndarray, rank: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(leaf_idx, dest_rank)`` pairs: for each local leaf, every remote
+    rank owning a leaf 26-adjacent to it (deduplicated, ``dest != rank``).
+
+    A remote leaf M touches local leaf L iff M's owner owns one of the
+    shell cells of L's one-cell-dilated box (leaves never straddle
+    markers, so cell owner == owner of the containing leaf); conversely
+    every cell of L itself is local, so the non-local owner set of the
+    dilated box is exactly the 26-adjacent remote rank set.
+    """
+    if not len(local):
+        e = np.zeros(0, dtype=np.int64)
+        return e, e.copy()
+    lo, hi = dilated_boxes(local)
+    cand = np.flatnonzero(boundary_leaf_mask(lo, hi, markers, rank))
+    it, rk = box_owner_pairs(lo[cand], hi[cand], cand, markers)
+    remote = rk != rank
+    return it[remote], rk[remote]
+
+
+# --------------------------------------------------------------------------
+# low-collective 2:1 balance
+
+
+def _ripple_local(
+    local: OctantArray,
+    dirs: np.ndarray,
+    klo: np.uint64,
+    khi: np.uint64,
+    extra: OctantArray | None,
+) -> tuple[OctantArray, bool]:
+    """Balance this rank's subtree against itself plus the (static) set of
+    received remote boundary leaves, refining until a local fixed point.
+
+    Marking rule is identical to the ripple's: the leaf containing the
+    center of a source octant's same-size neighbor region refines when it
+    is two or more levels coarser.  Only sample points inside this rank's
+    key interval ``[klo, khi)`` are answered — out-of-range constraints
+    are the sending side's job, delivered through ``extra``.
+    """
+    changed = False
+    while True:
+        srcs = local if extra is None else OctantArray.concat([local, extra])
+        keys = local.keys()
+        levels = local.level.astype(np.int64)
+        mark = np.zeros(len(local), dtype=bool)
+        h = srcs.lengths()
+        slv = srcs.level.astype(np.int64)
+        for d in dirs:
+            nx, ny, nz, ok = srcs.neighbor_anchors(d)
+            if not ok.any():
+                continue
+            pk = morton_encode(
+                nx[ok] + h[ok] // 2, ny[ok] + h[ok] // 2, nz[ok] + h[ok] // 2
+            )
+            keep = (pk >= klo) & (pk < khi)
+            if not keep.any():
+                continue
+            idx = np.searchsorted(keys, pk[keep], side="right") - 1
+            viol = levels[idx] < slv[ok][keep] - 1
+            mark[idx[viol]] = True
+        if not mark.any():
+            return local, changed
+        kept = local[~mark]
+        refined = local[mark].children()
+        local = OctantArray.concat([kept, refined]).sort()
+        changed = True
+
+
+def balance_tree_recursive(
+    pt: ParTree, connectivity: str = "edge", max_rounds: int = 64
+) -> tuple[ParTree, int, int]:
+    """Low-collective BALANCETREE: local recursive balance, then boundary
+    insertion/merge rounds until a convergence allreduce fires.
+
+    Balancing only refines in place, so partition markers are fixed for
+    the whole call: one allgather up front, then per exchange one
+    alltoall of boundary leaves plus one convergence allreduce — the
+    ripple's per-round marker allgather and query/reply traffic are gone,
+    and the exchange count is the insulation-propagation depth (almost
+    always <= 2) instead of the number of propagated levels.
+
+    Returns ``(tree, leaves_added, exchanges)`` — same tree, bitwise, as
+    :func:`~repro.octree.partree.balance_tree` (the 2:1 closure is
+    unique, and both algorithms apply only forced refinements).
+    """
+    comm = pt.comm
+    dirs = directions_for(connectivity)
+    local = pt.local
+    n0 = comm.allreduce(len(local))
+    markers = partition_markers(comm, local)
+    klo, khi = markers[comm.rank], markers[comm.rank + 1]
+    local, _ = _ripple_local(local, dirs, klo, khi, None)
+    exchanges = 0
+    while exchanges < max_rounds:
+        idx, dst = ghost_destinations(local, markers, comm.rank)
+        sendbufs = []
+        for r in range(comm.size):  # lint: allow-loop (per-rank, not per-element)
+            sel = idx[dst == r]
+            buf = np.empty((len(sel), 4), dtype=np.int64)
+            buf[:, 0] = local.x[sel]
+            buf[:, 1] = local.y[sel]
+            buf[:, 2] = local.z[sel]
+            buf[:, 3] = local.level[sel]
+            sendbufs.append(buf)
+        recv = [b for b in comm.alltoall(sendbufs) if len(b)]
+        exchanges += 1
+        if recv:
+            blk = np.concatenate(recv, axis=0)
+            extra = OctantArray(blk[:, 0], blk[:, 1], blk[:, 2], blk[:, 3])
+        else:
+            extra = None
+        local, changed = _ripple_local(local, dirs, klo, khi, extra)
+        if not comm.allreduce(changed, op="lor"):
+            break
+    else:
+        raise RuntimeError("recursive balance did not converge")
+    out = ParTree(comm, local)
+    added = comm.allreduce(len(local)) - n0
+    return out, added, exchanges

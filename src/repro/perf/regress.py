@@ -32,6 +32,16 @@ matrix-free apply engine:
   kernel comparison (measured throughput per order + the modeled-Ranger
   crossover order).
 
+A fifth suite (``--suite amr``, BENCH_amr.json) measures the recursive
+forest algorithms against their search oracles on the AMR hot path:
+
+- ``amr_kernels``: ghost construction, 2:1 balance, and mesh extraction
+  on a random adaptive distributed tree — wall seconds and collective
+  counts per algorithm, bitwise-equality flags, and the balance exchange
+  count (the low-collective variant must converge in <= 2 exchanges).
+- ``amr_pipeline``: the full SPMD adaptation pipeline run search-vs-
+  recursive end to end; records both walls and AMR fractions.
+
 A second suite (``--suite checkpoint``, BENCH_checkpoint.json) measures
 the overhead of the PR-3 checkpoint subsystem:
 
@@ -87,6 +97,7 @@ __all__ = [
     "run_checkpoint_suite",
     "run_matvec_suite",
     "run_obs_suite",
+    "run_amr_suite",
     "main",
 ]
 
@@ -688,6 +699,175 @@ def bench_disabled_overhead(smoke: bool) -> dict:
     }
 
 
+def bench_amr_kernels(smoke: bool) -> dict:
+    """Ghost / balance / extract on a random adaptive distributed tree:
+    search oracle vs recursive algorithm, wall seconds plus the collective
+    operation counts behind each (the paper-scale argument is collective
+    count, not local flops)."""
+    from ..mesh.parmesh import collect_ghosts, extract_parmesh
+    from ..octree import balance_tree, gather_tree, new_tree, refine_tree
+    from ..octree.partree import partition_tree
+    from ..parallel import run_spmd
+
+    p = 2 if smoke else 4
+    level = 2 if smoke else 3
+    algs = ("search", "recursive")
+
+    def kernel(comm):
+        from ..octree import ROOT_LEN
+
+        pt0 = new_tree(comm, level)
+        offset = pt0.global_offset()
+        total = comm.allreduce(len(pt0))
+        rng = np.random.default_rng(3)
+        gmask = rng.random(total) < 0.3
+        pt0 = refine_tree(pt0, gmask[offset : offset + len(pt0)])
+        # drill a single leaf at the domain center so the 2:1 repair must
+        # propagate through several levels (multi-round ripple, the paper
+        # regime; refining whole center shells would stay graded)
+        from ..octree import morton_encode
+        from ..octree.partree import owners_of_keys, partition_markers
+
+        mid = ROOT_LEN // 2
+        ckey = morton_encode(np.array([mid]), np.array([mid]), np.array([mid]))
+        for _ in range(3 if smoke else 4):
+            markers = partition_markers(comm, pt0.local)
+            owner = owners_of_keys(markers, ckey)[0]
+            mask = np.zeros(len(pt0), dtype=bool)
+            if comm.rank == owner and len(pt0):
+                idx = np.searchsorted(pt0.keys, ckey[0], side="right") - 1
+                mask[idx] = True
+            pt0 = refine_tree(pt0, mask)
+        out = {}
+
+        balanced = {}
+        for alg in algs:
+            s0 = comm.stats.snapshot()
+            t0 = time.perf_counter()
+            ptb, added, rounds = balance_tree(pt0, "corner", algorithm=alg)
+            out[f"balance_{alg}_s"] = time.perf_counter() - t0
+            d = comm.stats.since(s0)
+            out[f"balance_{alg}_collectives"] = d.total_collective_calls
+            out[f"balance_{alg}_rounds"] = int(rounds)
+            balanced[alg] = ptb
+        gs, gr = gather_tree(balanced["search"]), gather_tree(balanced["recursive"])
+        out["balance_bitwise_equal"] = bool(
+            np.array_equal(gs.keys, gr.keys) and np.array_equal(gs.levels, gr.levels)
+        )
+
+        pt, _ = partition_tree(balanced["search"])
+        ghosts = {}
+        for alg in algs:
+            s0 = comm.stats.snapshot()
+            t0 = time.perf_counter()
+            ghosts[alg] = collect_ghosts(pt, algorithm=alg)
+            out[f"ghost_{alg}_s"] = time.perf_counter() - t0
+            d = comm.stats.since(s0)
+            out[f"ghost_{alg}_collectives"] = d.total_collective_calls
+        (g_s, o_s), (g_r, o_r) = ghosts["search"], ghosts["recursive"]
+        out["ghost_bitwise_equal"] = bool(
+            np.array_equal(g_s.keys(), g_r.keys()) and np.array_equal(o_s, o_r)
+        )
+
+        for alg in algs:
+            s0 = comm.stats.snapshot()
+            t0 = time.perf_counter()
+            extract_parmesh(pt, ghost_algorithm=alg, face_algorithm=alg)
+            out[f"extract_{alg}_s"] = time.perf_counter() - t0
+            out[f"extract_{alg}_collectives"] = comm.stats.since(
+                s0
+            ).total_collective_calls
+        out["n_elements_global"] = pt.global_count()
+        return out
+
+    outs = run_spmd(p, kernel)
+    res = {"ranks": p, "level": level}
+    for key in outs[0]:
+        if key.endswith("_s"):
+            res[key] = max(o[key] for o in outs)  # slowest rank = wall
+        elif key.endswith("equal"):
+            res[key] = all(o[key] for o in outs)
+        else:
+            res[key] = outs[0][key]
+    res["ghost_speedup"] = res["ghost_search_s"] / res["ghost_recursive_s"]
+    res["balance_speedup"] = res["balance_search_s"] / res["balance_recursive_s"]
+    res["balance_exchanges"] = res["balance_recursive_rounds"]
+    res["collective_reduction_balance"] = (
+        res["balance_search_collectives"] / max(res["balance_recursive_collectives"], 1)
+    )
+    return res
+
+
+def bench_amr_pipeline(smoke: bool) -> dict:
+    """The full SPMD adaptation pipeline, all-search vs all-recursive:
+    end-to-end wall, AMR wall fraction, and total collective calls."""
+    from ..amr import ParAmrPipeline
+    from ..parallel import run_spmd
+
+    p = 2 if smoke else 4
+    cycles = 2
+    target = 250 if smoke else 600
+    max_level = 4 if smoke else 5
+    out = {"ranks": p, "cycles": cycles, "target": target}
+    for alg in ("search", "recursive"):
+
+        def kernel(comm):
+            pipe = ParAmrPipeline(
+                comm,
+                coarse_level=2,
+                max_level=max_level,
+                ghost_algorithm=alg,
+                balance_algorithm=alg,
+                face_algorithm=alg,
+            )
+            t0 = time.perf_counter()
+            pipe.run_cycles(cycles, steps_per_cycle=2, target=target)
+            wall = time.perf_counter() - t0
+            return {
+                "wall": wall,
+                "amr_fraction": pipe.amr_fraction(),
+                "collectives": comm.stats.total_collective_calls,
+                "n": pipe.pt.global_count(),
+            }
+
+        outs = run_spmd(p, kernel)
+        out[f"wall_{alg}_s"] = max(o["wall"] for o in outs)
+        out[f"amr_fraction_{alg}"] = max(o["amr_fraction"] for o in outs)
+        out[f"collectives_{alg}"] = outs[0]["collectives"]
+        out[f"n_elements_{alg}"] = outs[0]["n"]
+    out["trees_identical"] = out["n_elements_search"] == out["n_elements_recursive"]
+    out["pipeline_speedup"] = out["wall_search_s"] / out["wall_recursive_s"]
+    return out
+
+
+def run_amr_suite(smoke: bool = False) -> dict:
+    """Run the recursive-forest-algorithms suite (kernel-level ghost /
+    balance / extract comparison plus the end-to-end pipeline) and return
+    the BENCH_amr payload.
+
+    Example::
+
+        data = run_amr_suite(smoke=True)
+        assert data["scenarios"]["amr_kernels"]["ghost_bitwise_equal"]
+        assert data["scenarios"]["amr_kernels"]["balance_exchanges"] <= 2
+    """
+    out = {
+        "suite": "PR6 recursive forest algorithms",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    for name, fn in (
+        ("amr_kernels", bench_amr_kernels),
+        ("amr_pipeline", bench_amr_pipeline),
+    ):
+        t0 = time.perf_counter()
+        out["scenarios"][name] = fn(smoke)
+        out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+        print(f"[regress] {name}: {json.dumps(out['scenarios'][name])}", flush=True)
+    return out
+
+
 def run_obs_suite(smoke: bool = False) -> dict:
     """Run the observability suite (pipeline phases, convection phase
     counters, disabled-hook overhead) and return the BENCH_obs payload.
@@ -794,7 +974,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=["tentpole", "checkpoint", "matvec", "obs"],
+        choices=["tentpole", "checkpoint", "matvec", "obs", "amr"],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
     )
@@ -818,6 +998,8 @@ def main(argv=None) -> int:
         result = run_matvec_suite(smoke=args.smoke)
     elif args.suite == "obs":
         result = run_obs_suite(smoke=args.smoke)
+    elif args.suite == "amr":
+        result = run_amr_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
@@ -846,6 +1028,23 @@ def main(argv=None) -> int:
             f"observe overhead {100 * pp['observe_overhead_fraction']:.1f}%, "
             f"disabled hook {do['disabled_ns_per_phase']:.0f} ns/phase; "
             f"trace at {pp['trace_path']}"
+        )
+    elif args.suite == "amr":
+        ak = result["scenarios"]["amr_kernels"]
+        pl = result["scenarios"]["amr_pipeline"]
+        print(
+            f"[regress] ghost {ak['ghost_speedup']:.2f}x "
+            f"({ak['ghost_search_collectives']} -> "
+            f"{ak['ghost_recursive_collectives']} collectives), "
+            f"balance {ak['balance_speedup']:.2f}x in "
+            f"{ak['balance_exchanges']} exchange(s) "
+            f"({ak['balance_search_collectives']} -> "
+            f"{ak['balance_recursive_collectives']} collectives), "
+            f"bitwise ghost={ak['ghost_bitwise_equal']} "
+            f"balance={ak['balance_bitwise_equal']}; "
+            f"pipeline {pl['pipeline_speedup']:.2f}x, AMR fraction "
+            f"{100 * pl['amr_fraction_search']:.1f}% -> "
+            f"{100 * pl['amr_fraction_recursive']:.1f}%"
         )
     else:
         co = result["scenarios"]["checkpoint_overhead"]

@@ -93,6 +93,14 @@ class RheaConfig:
     #: :meth:`MantleConvection.run` if none is active (per-phase wall
     #: times, solver counters); read it back via ``repro.obs.active()``
     observe: bool = False
+    #: AMR hot-path algorithm selectors (see DESIGN.md section 4e):
+    #: ``"recursive"`` uses the search-free ghost construction,
+    #: low-collective balance and sort-merge face iteration;
+    #: ``"search"`` keeps the original sampling/probe kernels.  Both
+    #: produce bitwise-identical meshes and fields.
+    ghost_algorithm: str = "recursive"
+    balance_algorithm: str = "recursive"
+    face_algorithm: str = "recursive"
 
 
 @dataclass
@@ -123,7 +131,9 @@ class MantleConvection:
         cfg = self.config
         if tree is None:
             tree = LinearOctree.uniform(cfg.initial_level)
-        self.mesh: Mesh = extract_mesh(tree, cfg.domain)
+        self.mesh: Mesh = extract_mesh(
+            tree, cfg.domain, face_algorithm=cfg.face_algorithm
+        )
         t_init = T_init or (lambda c: conductive_profile(c, domain=cfg.domain))
         self._t_init = t_init
         Tn = t_init(self.mesh.node_coords())
@@ -320,7 +330,7 @@ class MantleConvection:
         new_mesh, new_fields, report = adapt_mesh(
             self.mesh, eta_ind, target, fields,
             min_level=cfg.min_level, max_level=cfg.max_level,
-            tol=cfg.mark_tol,
+            tol=cfg.mark_tol, face_algorithm=cfg.face_algorithm,
         )
         self.mesh = new_mesh
         self.T = np.clip(new_fields["T"], 0.0, 1.5)

@@ -174,20 +174,23 @@ class TestParAmrPipeline:
             assert "TimeIntegration" in timings and "BalanceTree" in timings
             assert 0.0 < frac < 1.0
 
-    def test_p_invariant_global_tree(self):
+    @pytest.mark.parametrize("cycles,steps,target", [(2, 2, 250), (2, 3, 400)])
+    def test_p_invariant_global_tree(self, cycles, steps, target):
         """After identical cycles, the distributed tree is identical for
-        every rank count."""
+        every rank count.  The (2, 3, 400) case is the formerly P-variant
+        regime: it needs both the quantized marking thresholds and
+        split-family coarsening to hold at P=3."""
 
         def kernel(comm):
             pipe = ParAmrPipeline(comm, coarse_level=2, max_level=4)
-            pipe.run_cycles(n_cycles=2, steps_per_cycle=2, target=250)
+            pipe.run_cycles(n_cycles=cycles, steps_per_cycle=steps, target=target)
             from repro.octree import gather_tree
 
             g = gather_tree(pipe.pt)
             return g.keys.copy(), g.levels.copy()
 
         ref_keys, ref_levels = run_spmd(1, kernel)[0]
-        for p in [2, 4]:
+        for p in [2, 3, 4]:
             for keys, levels in run_spmd(p, kernel):
                 np.testing.assert_array_equal(keys, ref_keys)
                 np.testing.assert_array_equal(levels, ref_levels)

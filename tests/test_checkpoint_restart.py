@@ -24,8 +24,8 @@ from repro.octree import gather_tree
 from repro.parallel import InjectedFault, fault_injection, run_spmd
 from repro.rhea import MantleConvection, RheaConfig
 
-CYCLES, STEPS, TARGET = 4, 2, 250  # bitwise P-invariant regime
-FAIL_STEP = 4  # steps_taken at the start of cycle 3
+CYCLES, STEPS, TARGET = 4, 3, 400  # formerly P-variant; see quantized marking
+FAIL_STEP = 6  # steps_taken at the start of cycle 3
 
 
 def _state(comm, pipe):
@@ -96,7 +96,7 @@ class TestPipelineRestart:
     def test_crash_leaves_complete_checkpoints(self, crashed):
         _, steps_on_disk, _ = crashed
         # cycles 1 and 2 completed before the injected kill at cycle 3
-        assert steps_on_disk == [2, 4]
+        assert steps_on_disk == [3, 6]
 
     def test_same_rank_count_resume_is_bitwise(self, crashed):
         root, _, ref = crashed

@@ -1,0 +1,290 @@
+"""Equivalence suite for the recursive forest algorithms (PR: search-free
+ghost, low-collective balance, recursive face iteration).
+
+Every recursive variant must be *bitwise identical* to its search oracle:
+ghost layers (octants + owners), balanced trees/forests, extracted
+parallel meshes, and DG advection rates.  The suite runs the randomized
+comparisons across rank counts including non-powers-of-two.
+"""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    Forest,
+    ParForest,
+    brick_connectivity,
+    cubed_sphere_connectivity,
+    unit_cube,
+)
+from repro.mangll import DGAdvection
+from repro.mesh import extract_mesh
+from repro.mesh.parmesh import UnbalancedTreeError, collect_ghosts, extract_parmesh
+from repro.octree import (
+    LinearOctree,
+    balance,
+    balance_tree,
+    gather_tree,
+    merge_lookup,
+    new_tree,
+    refine_tree,
+    row_lookup,
+)
+from repro.octree.partree import partition_tree
+from repro.parallel import run_spmd
+
+PS = [1, 2, 3, 4, 7]
+
+
+def build_ptree(comm, level=2, refine_seed=None, frac=0.3):
+    """Random adaptive, corner-balanced, partitioned distributed tree."""
+    pt = new_tree(comm, level)
+    if refine_seed is not None:
+        offset = pt.global_offset()
+        total = comm.allreduce(len(pt))
+        rng = np.random.default_rng(refine_seed)
+        gmask = rng.random(total) < frac
+        pt = refine_tree(pt, gmask[offset : offset + len(pt)])
+    pt, _, _ = balance_tree(pt, "corner")
+    pt, _ = partition_tree(pt)
+    return pt
+
+
+def build_pforest(comm, conn, level=1, refine_seed=None, frac=0.3):
+    pf = ParForest.uniform(comm, conn, level)
+    if refine_seed is not None:
+        counts = comm.allgather(len(pf))
+        offset = sum(counts[: comm.rank])
+        rng = np.random.default_rng(refine_seed)
+        gmask = rng.random(sum(counts)) < frac
+        pf = pf.refine(gmask[offset : offset + len(pf)])
+    return pf
+
+
+class TestLookupKernels:
+    """merge_lookup / row_lookup against brute-force references."""
+
+    def test_merge_lookup_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        keys = np.unique(rng.integers(0, 500, 80).astype(np.uint64))
+        sorter = np.argsort(keys, kind="stable")
+        cand = rng.integers(0, 500, 200).astype(np.uint64)
+        got = merge_lookup(keys[sorter], sorter, cand)
+        want = np.array(
+            [
+                int(np.flatnonzero(keys == c)[0]) if np.any(keys == c) else -1
+                for c in cand
+            ],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_merge_lookup_empty(self):
+        e = np.empty(0, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            merge_lookup(e, np.empty(0, dtype=np.int64), e), np.empty(0)
+        )
+        got = merge_lookup(e, np.empty(0, dtype=np.int64), np.array([3], dtype=np.uint64))
+        np.testing.assert_array_equal(got, [-1])
+
+    def test_row_lookup_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        # B rows deliberately unsorted, with duplicates in single columns
+        b = [rng.integers(0, 6, 60), rng.integers(0, 6, 60)]
+        a = [rng.integers(0, 6, 120), rng.integers(0, 6, 120)]
+        got = row_lookup(a, b)
+        for i in range(120):
+            js = np.flatnonzero((b[0] == a[0][i]) & (b[1] == a[1][i]))
+            if len(js) == 0:
+                assert got[i] == -1
+            else:
+                assert got[i] in js
+
+    def test_row_lookup_unique_rows_exact(self):
+        b = [np.array([5, 1, 3]), np.array([0, 2, 1])]
+        a = [np.array([3, 5, 4, 1]), np.array([1, 0, 4, 2])]
+        np.testing.assert_array_equal(row_lookup(a, b), [2, 0, -1, 1])
+
+
+class TestRecursiveGhost:
+    @pytest.mark.parametrize("p", PS)
+    def test_bitwise_matches_search(self, p):
+        def kernel(comm):
+            for seed in (3, 7, 11):
+                pt = build_ptree(comm, 2, refine_seed=seed)
+                gs, os_ = collect_ghosts(pt, algorithm="search")
+                gr, or_ = collect_ghosts(pt, algorithm="recursive")
+                np.testing.assert_array_equal(gs.keys(), gr.keys())
+                np.testing.assert_array_equal(gs.level, gr.level)
+                np.testing.assert_array_equal(os_, or_)
+            return True
+
+        assert all(run_spmd(p, kernel))
+
+    def test_recursive_ghosts_complete_for_26_adjacency(self):
+        """Brute-force reference: every global leaf touching (face, edge,
+        or corner) a local leaf must be local or a recursive ghost."""
+
+        def kernel(comm):
+            pt = build_ptree(comm, 2, refine_seed=5)
+            ghosts, _ = collect_ghosts(pt, algorithm="recursive")
+            g = gather_tree(pt)
+            union_keys = set(pt.keys.tolist()) | set(ghosts.keys().tolist())
+            lv = g.leaves
+            h = lv.lengths()
+            lo = np.stack([lv.x, lv.y, lv.z], axis=1)
+            hi = lo + h[:, None]
+            is_local = np.isin(g.keys, pt.keys)
+            missing = 0
+            for i in np.flatnonzero(is_local):
+                touch = np.all((lo <= hi[i]) & (hi >= lo[i]), axis=1)
+                for j in np.flatnonzero(touch):
+                    if int(g.keys[j]) not in union_keys:
+                        missing += 1
+            return missing
+
+        assert all(m == 0 for m in run_spmd(3, kernel))
+
+    def test_sanitize_rejects_unbalanced_tree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+        def kernel(comm):
+            # refine toward the domain center (level 3 beside level 1),
+            # never balance: a genuine corner 2:1 violation
+            pt = new_tree(comm, 1)
+            for idx in (0, 7):
+                mask = np.zeros(len(pt), dtype=bool)
+                if comm.rank == 0:
+                    mask[idx] = True
+                pt = refine_tree(pt, mask)
+            collect_ghosts(pt)
+
+        with pytest.raises(UnbalancedTreeError) as exc:
+            run_spmd(2, kernel)
+        assert exc.value.violations > 0
+
+
+class TestRecursiveBalance:
+    @pytest.mark.parametrize("p", PS)
+    def test_octree_bitwise_matches_ripple(self, p):
+        def kernel(comm):
+            for seed in (2, 9):
+                pt = new_tree(comm, 2)
+                offset = pt.global_offset()
+                total = comm.allreduce(len(pt))
+                rng = np.random.default_rng(seed)
+                gmask = rng.random(total) < 0.3
+                pt = refine_tree(pt, gmask[offset : offset + len(pt)])
+                ps, _, _ = balance_tree(pt, "corner", algorithm="search")
+                pr, _, exchanges = balance_tree(pt, "corner", algorithm="recursive")
+                gs, gr = gather_tree(ps), gather_tree(pr)
+                np.testing.assert_array_equal(gs.keys, gr.keys)
+                np.testing.assert_array_equal(gs.levels, gr.levels)
+                assert exchanges <= 3
+            return True
+
+        assert all(run_spmd(p, kernel))
+
+    @pytest.mark.parametrize(
+        "conn_factory",
+        [cubed_sphere_connectivity, lambda: brick_connectivity(2, 1, 1)],
+        ids=["cubed_sphere", "brick"],
+    )
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_forest_bitwise_matches_ripple(self, p, conn_factory):
+        conn = conn_factory()
+
+        def kernel(comm):
+            pf = build_pforest(comm, conn, 1, refine_seed=4)
+            fs, added_s = pf.balance("edge", algorithm="search")
+            fr, added_r = pf.balance("edge", algorithm="recursive")
+            assert added_s == added_r
+            return fs.gather(), fr.gather()
+
+        for gs, gr in run_spmd(p, kernel):
+            assert gs.n_trees == gr.n_trees
+            for ts, tr in zip(gs.trees, gr.trees):
+                assert ts.leaves.equals(tr.leaves)
+
+
+class TestExtractEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_parmesh_identical_across_algorithms(self, p):
+        def kernel(comm):
+            pt = build_ptree(comm, 2, refine_seed=3)
+            ref = extract_parmesh(pt, ghost_algorithm="search", face_algorithm="search")
+            for ga in ("search", "recursive"):
+                for fa in ("search", "recursive"):
+                    pm = extract_parmesh(pt, ghost_algorithm=ga, face_algorithm=fa)
+                    np.testing.assert_array_equal(
+                        pm.mesh.node_coords_int, ref.mesh.node_coords_int
+                    )
+                    np.testing.assert_array_equal(
+                        pm.mesh.element_nodes, ref.mesh.element_nodes
+                    )
+                    np.testing.assert_array_equal(
+                        pm.mesh.indep_nodes, ref.mesh.indep_nodes
+                    )
+                    np.testing.assert_array_equal(pm.mesh.Z.indptr, ref.mesh.Z.indptr)
+                    np.testing.assert_array_equal(pm.mesh.Z.indices, ref.mesh.Z.indices)
+                    np.testing.assert_array_equal(pm.mesh.Z.data, ref.mesh.Z.data)
+                    np.testing.assert_array_equal(pm.global_dof, ref.global_dof)
+                    assert pm.n_global == ref.n_global
+            return True
+
+        assert all(run_spmd(p, kernel))
+
+    def test_serial_extract_mesh_identical(self):
+        rng = np.random.default_rng(6)
+        tree = LinearOctree.uniform(2)
+        tree = balance(tree.refine(rng.random(len(tree)) < 0.4), "corner").tree
+        ms = extract_mesh(tree, face_algorithm="search")
+        mr = extract_mesh(tree, face_algorithm="recursive")
+        np.testing.assert_array_equal(ms.node_coords_int, mr.node_coords_int)
+        np.testing.assert_array_equal(ms.Z.indptr, mr.Z.indptr)
+        np.testing.assert_array_equal(ms.Z.indices, mr.Z.indices)
+        np.testing.assert_array_equal(ms.Z.data, mr.Z.data)
+
+
+class TestDGFaceIteration:
+    def _rates_equal(self, forest, p, velocity):
+        dg_s = DGAdvection(forest, p=p, velocity=velocity, face_algorithm="search")
+        dg_r = DGAdvection(forest, p=p, velocity=velocity, face_algorithm="recursive")
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal(dg_s.n_dof)
+        assert np.array_equal(dg_s.rate(u), dg_r.rate(u))
+
+    def test_adapted_cube_bitwise(self):
+        f = Forest.uniform(unit_cube(), 1)
+        mask = np.zeros(len(f), dtype=bool)
+        mask[0] = True
+        f, _ = f.refine(mask).balance()
+
+        def wind(x):
+            return np.broadcast_to([1.0, 0.3, 0.2], x.shape).copy()
+
+        self._rates_equal(f, 3, wind)
+
+    def test_cubed_sphere_bitwise(self):
+        from repro.mangll import solid_body_rotation
+
+        conn = cubed_sphere_connectivity(r_inner=0.55, r_outer=1.0)
+        f = Forest.uniform(conn, 1)
+        self._rates_equal(f, 2, solid_body_rotation())
+
+
+class TestMarkQuantization:
+    def test_marks_invariant_under_exchange_noise(self):
+        """The quantized thresholds must absorb the ~1e-11 relative
+        rank-count-dependent FP noise of distributed indicators."""
+        from repro.amr import mark_elements
+
+        rng = np.random.default_rng(8)
+        eta = rng.random(600)
+        levels = np.full(600, 3)
+        ref = mark_elements(eta, levels, target=1400)
+        for seed in range(5):
+            noise = 1 + 1e-11 * np.random.default_rng(seed).standard_normal(600)
+            res = mark_elements(eta * noise, levels, target=1400)
+            np.testing.assert_array_equal(res.refine, ref.refine)
+            np.testing.assert_array_equal(res.coarsen, ref.coarsen)

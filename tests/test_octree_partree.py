@@ -114,7 +114,7 @@ class TestRefineCoarsenParallel:
         assert nfam == 8
         assert t.leaves.equals(LinearOctree.uniform(1).leaves)
 
-    def test_coarsen_skips_split_families(self):
+    def test_coarsen_resolves_split_families(self):
         def kernel(comm):
             pt = new_tree(comm, 1)  # 8 leaves over 3 ranks: family split
             pt, nfam = coarsen_tree(pt, np.ones(len(pt), dtype=bool))
@@ -122,8 +122,8 @@ class TestRefineCoarsenParallel:
 
         out = spmd(3, kernel)
         nfam, t = out[0]
-        assert nfam == 0  # family spans ranks, not coarsened
-        assert len(t) == 8
+        assert nfam == 1  # split family is still coarsened (P-invariance)
+        assert len(t) == 1 and t.levels[0] == 0
 
 
 class TestBalanceParallel:
