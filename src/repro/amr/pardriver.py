@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from .. import obs
+from ..analysis.conformance import schedule_phase
 from ..fem import ParAdvectionDiffusion
 from ..mesh.parmesh import ParMesh, extract_parmesh, par_interpolate_at
 from ..octree import morton_encode, new_tree
@@ -117,31 +118,32 @@ class ParAmrPipeline:
         self.sim_time = 0.0
         self.cycles_done = 0
 
-        t0 = time.perf_counter()
-        if tree is not None:
-            # restart path: ``tree`` is this rank's Morton segment of an
-            # already-balanced leaf set (checkpoints save post-balance
-            # state), so NEWTREE and BALANCETREE are skipped
-            self.pt = ParTree(comm, tree)
-            self._tic("NewTree", t0)
-        else:
-            self.pt = new_tree(comm, coarse_level)
-            self._tic("NewTree", t0)
+        with schedule_phase("init"):
             t0 = time.perf_counter()
-            self.pt, _, _ = balance_tree(
-                self.pt, connectivity, algorithm=balance_algorithm
+            if tree is not None:
+                # restart path: ``tree`` is this rank's Morton segment of an
+                # already-balanced leaf set (checkpoints save post-balance
+                # state), so NEWTREE and BALANCETREE are skipped
+                self.pt = ParTree(comm, tree)
+                self._tic("NewTree", t0)
+            else:
+                self.pt = new_tree(comm, coarse_level)
+                self._tic("NewTree", t0)
+                t0 = time.perf_counter()
+                self.pt, _, _ = balance_tree(
+                    self.pt, connectivity, algorithm=balance_algorithm
+                )
+                self._tic("BalanceTree", t0)
+            t0 = time.perf_counter()
+            self.pm: ParMesh = extract_parmesh(
+                self.pt,
+                ghost_algorithm=ghost_algorithm,
+                face_algorithm=face_algorithm,
             )
-            self._tic("BalanceTree", t0)
-        t0 = time.perf_counter()
-        self.pm: ParMesh = extract_parmesh(
-            self.pt,
-            ghost_algorithm=ghost_algorithm,
-            face_algorithm=face_algorithm,
-        )
-        self._tic("ExtractMesh", t0)
-        coords = self.pm.mesh.node_coords()
-        T0 = self.workload.initial(coords)
-        self.T = T0[self.pm.mesh.indep_nodes]
+            self._tic("ExtractMesh", t0)
+            coords = self.pm.mesh.node_coords()
+            T0 = self.workload.initial(coords)
+            self.T = T0[self.pm.mesh.indep_nodes]
 
     @classmethod
     def resume_from(cls, comm: SimComm, path: str, workload=None) -> "ParAmrPipeline":
@@ -169,131 +171,134 @@ class ParAmrPipeline:
     # -- one adaptation step ----------------------------------------------------------
 
     def adapt(self, target: int) -> ParAdaptStats:
-        comm = self.comm
-        old_pm = self.pm
-        old_markers = partition_markers(comm, self.pt.local)
-        u_full_old = old_pm.mesh.expand(self.T)
-        eta = self.indicator()
-        n_before = self.pt.global_count()
+        with schedule_phase("adapt"):
+            comm = self.comm
+            old_pm = self.pm
+            old_markers = partition_markers(comm, self.pt.local)
+            u_full_old = old_pm.mesh.expand(self.T)
+            eta = self.indicator()
+            n_before = self.pt.global_count()
 
-        t0 = time.perf_counter()
-        with obs.phase("amr/mark"):
-            mark = mark_elements(
-                eta,
-                self.pt.levels.astype(np.int64),
-                target,
-                comm=comm,
-                min_level=self.min_level,
-                max_level=self.max_level,
+            t0 = time.perf_counter()
+            with obs.phase("amr/mark"):
+                mark = mark_elements(
+                    eta,
+                    self.pt.levels.astype(np.int64),
+                    target,
+                    comm=comm,
+                    min_level=self.min_level,
+                    max_level=self.max_level,
+                )
+            self._tic("MarkElements", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/coarsen"):
+                coarsen_mask = mark.coarsen & ~mark.refine
+                pt, nfam = coarsen_tree(self.pt, coarsen_mask)
+                obs.counter("elements_coarsened", 8 * nfam)
+            self._tic("CoarsenTree", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/refine"):
+                # relocate refine marks on the coarsened local tree
+                ref = self.pt.local[mark.refine]
+                mask = np.zeros(len(pt), dtype=bool)
+                if len(ref):
+                    h = ref.lengths()
+                    keys = morton_encode(ref.x + h // 2, ref.y + h // 2, ref.z + h // 2)
+                    idx = np.searchsorted(pt.keys, keys, side="right") - 1
+                    mask[idx] = True
+                n_refined = comm.allreduce(int(mask.sum()))
+                pt = refine_tree(pt, mask)
+                obs.counter("elements_marked_refine", int(mask.sum()))
+            self._tic("RefineTree", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/balance"):
+                pt, added, _ = balance_tree(
+                    pt, self.connectivity, algorithm=self.balance_algorithm
+                )
+                obs.counter("balance_added", added)
+            self._tic("BalanceTree", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/partition"):
+                pt, plan = partition_tree(pt)
+            self._tic("PartitionTree", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/extract_mesh"):
+                pm = extract_parmesh(
+                    pt,
+                    ghost_algorithm=self.ghost_algorithm,
+                    face_algorithm=self.face_algorithm,
+                )
+            self._tic("ExtractMesh", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/interpolate"):
+                new_coords = pm.mesh.node_coords()
+                vals = par_interpolate_at(old_pm, old_markers, u_full_old, new_coords)
+                self.T = vals[pm.mesh.indep_nodes]
+            self._tic("InterpolateFields", t0)
+
+            t0 = time.perf_counter()
+            with obs.phase("amr/transfer"):
+                # TRANSFERFIELDS: per-element data rides the partition plan (here:
+                # the post-adaptation error indicator placeholder, exercising the
+                # same code path the paper times)
+                elem_payload = np.zeros((plan.send_slices[-1][1], 1))
+                plan.transfer(comm, elem_payload)
+            self._tic("TransferFields", t0)
+
+            self.pt, self.pm = pt, pm
+            n_after = pt.global_count()
+            n_coarsened = 8 * comm.allreduce(nfam)
+            stats = ParAdaptStats(
+                n_before=n_before,
+                n_after=n_after,
+                n_refined=n_refined,
+                n_coarsened=n_coarsened,
+                n_balance_added=added,
+                n_unchanged=n_before - n_refined - n_coarsened,
+                level_histogram=pt.level_histogram(),
+                timings={},
             )
-        self._tic("MarkElements", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/coarsen"):
-            coarsen_mask = mark.coarsen & ~mark.refine
-            pt, nfam = coarsen_tree(self.pt, coarsen_mask)
-            obs.counter("elements_coarsened", 8 * nfam)
-        self._tic("CoarsenTree", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/refine"):
-            # relocate refine marks on the coarsened local tree
-            ref = self.pt.local[mark.refine]
-            mask = np.zeros(len(pt), dtype=bool)
-            if len(ref):
-                h = ref.lengths()
-                keys = morton_encode(ref.x + h // 2, ref.y + h // 2, ref.z + h // 2)
-                idx = np.searchsorted(pt.keys, keys, side="right") - 1
-                mask[idx] = True
-            n_refined = comm.allreduce(int(mask.sum()))
-            pt = refine_tree(pt, mask)
-            obs.counter("elements_marked_refine", int(mask.sum()))
-        self._tic("RefineTree", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/balance"):
-            pt, added, _ = balance_tree(
-                pt, self.connectivity, algorithm=self.balance_algorithm
-            )
-            obs.counter("balance_added", added)
-        self._tic("BalanceTree", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/partition"):
-            pt, plan = partition_tree(pt)
-        self._tic("PartitionTree", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/extract_mesh"):
-            pm = extract_parmesh(
-                pt,
-                ghost_algorithm=self.ghost_algorithm,
-                face_algorithm=self.face_algorithm,
-            )
-        self._tic("ExtractMesh", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/interpolate"):
-            new_coords = pm.mesh.node_coords()
-            vals = par_interpolate_at(old_pm, old_markers, u_full_old, new_coords)
-            self.T = vals[pm.mesh.indep_nodes]
-        self._tic("InterpolateFields", t0)
-
-        t0 = time.perf_counter()
-        with obs.phase("amr/transfer"):
-            # TRANSFERFIELDS: per-element data rides the partition plan (here:
-            # the post-adaptation error indicator placeholder, exercising the
-            # same code path the paper times)
-            elem_payload = np.zeros((plan.send_slices[-1][1], 1))
-            plan.transfer(comm, elem_payload)
-        self._tic("TransferFields", t0)
-
-        self.pt, self.pm = pt, pm
-        n_after = pt.global_count()
-        n_coarsened = 8 * comm.allreduce(nfam)
-        stats = ParAdaptStats(
-            n_before=n_before,
-            n_after=n_after,
-            n_refined=n_refined,
-            n_coarsened=n_coarsened,
-            n_balance_added=added,
-            n_unchanged=n_before - n_refined - n_coarsened,
-            level_histogram=pt.level_histogram(),
-            timings={},
-        )
-        self.adapt_history.append(stats)
-        return stats
+            self.adapt_history.append(stats)
+            return stats
 
     # -- time integration -------------------------------------------------------------
 
     def advance(self, n_steps: int, cfl: float = 0.4) -> float:
-        t0 = time.perf_counter()
-        with obs.phase("advection"):
-            eq = ParAdvectionDiffusion(
-                self.pm, self.workload.kappa, self.workload.velocity
-            )
-            dt = eq.cfl_dt(cfl)
-            self.T = eq.advance(self.T, dt, n_steps)
-            obs.counter("advection_steps", n_steps)
-        self.steps_taken += n_steps
-        self.sim_time += n_steps * dt
-        self._tic("TimeIntegration", t0)
-        return dt
+        with schedule_phase("advance"):
+            t0 = time.perf_counter()
+            with obs.phase("advection"):
+                eq = ParAdvectionDiffusion(
+                    self.pm, self.workload.kappa, self.workload.velocity
+                )
+                dt = eq.cfl_dt(cfl)
+                self.T = eq.advance(self.T, dt, n_steps)
+                obs.counter("advection_steps", n_steps)
+            self.steps_taken += n_steps
+            self.sim_time += n_steps * dt
+            self._tic("TimeIntegration", t0)
+            return dt
 
     def advance_time(self, t_span: float, cfl: float = 0.4) -> int:
         """Advance by a fixed physical time (however many CFL steps that
         takes on the current mesh); returns the step count."""
-        eq = ParAdvectionDiffusion(self.pm, self.workload.kappa, self.workload.velocity)
-        dt = eq.cfl_dt(cfl)
-        n = max(int(np.ceil(t_span / dt)), 1)
-        t0 = time.perf_counter()
-        with obs.phase("advection"):
-            self.T = eq.advance(self.T, t_span / n, n)
-            obs.counter("advection_steps", n)
-        self.steps_taken += n
-        self.sim_time += n * (t_span / n)
-        self._tic("TimeIntegration", t0)
-        return n
+        with schedule_phase("advance_time"):
+            eq = ParAdvectionDiffusion(self.pm, self.workload.kappa, self.workload.velocity)
+            dt = eq.cfl_dt(cfl)
+            n = max(int(np.ceil(t_span / dt)), 1)
+            t0 = time.perf_counter()
+            with obs.phase("advection"):
+                self.T = eq.advance(self.T, t_span / n, n)
+                obs.counter("advection_steps", n)
+            self.steps_taken += n
+            self.sim_time += n * (t_span / n)
+            self._tic("TimeIntegration", t0)
+            return n
 
     def run_cycles(
         self,

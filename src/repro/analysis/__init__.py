@@ -17,8 +17,23 @@ break silently in a growing codebase:
 Two prongs check these properties:
 
 ``repro.analysis.lint``
-    A static AST linter with repo-specific rules R1-R4, runnable as
-    ``python -m repro.analysis.lint src/``.  Stdlib-only.
+    A static AST linter with repo-specific rules R1-R6, runnable as
+    ``python -m repro.analysis.lint src/`` (``--commflow`` adds the
+    interprocedural rules R7-R9).  Stdlib-only.
+
+``repro.analysis.commflow``
+    Interprocedural communication-flow analysis: a module-level call
+    graph, per-function collective signatures, rules R7 (divergent
+    collective order through call chains), R8 (send/recv pairing &
+    deadlock), R9 (shared-buffer publication), and the static comm
+    schedule of the AMR pipeline entry points
+    (``python -m repro.analysis.commflow src/ --schedule out.json``).
+
+``repro.analysis.conformance``
+    Runtime schedule-conformance monitoring: under ``REPRO_SANITIZE=1``
+    the observed collective stream is replayed against the static
+    schedule (``REPRO_COMMFLOW_SCHEDULE=<json>``) and a mismatch raises
+    a structured :class:`~repro.analysis.conformance.ScheduleMismatch`.
 
 ``repro.analysis.sanitize``
     Runtime sanitizers: :class:`~repro.analysis.sanitize.CheckedComm`
@@ -35,7 +50,7 @@ without numpy (CI runs it before installing the numeric toolchain).
 
 from __future__ import annotations
 
-__all__ = ["lint", "sanitize"]
+__all__ = ["commflow", "conformance", "linkcheck", "lint", "sanitize"]
 
 
 def __getattr__(name):

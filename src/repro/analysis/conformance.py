@@ -1,0 +1,230 @@
+"""Runtime schedule-conformance monitoring for the sanitized comm layer.
+
+:mod:`repro.analysis.commflow` emits the **static comm schedule** of the
+:class:`~repro.amr.pardriver.ParAmrPipeline` entry points as a JSON
+artifact.  This module replays the collective stream that
+:class:`~repro.analysis.sanitize.CheckedComm` observes at runtime
+against that schedule: each pipeline entry body runs inside a
+:func:`schedule_phase` context, every checked collective is fed to the
+phase's :class:`~repro.analysis.commflow.ScheduleNFA`, and any
+divergence — an unexpected op/site, or a phase ending before the
+automaton accepts (a *skipped* collective) — raises a structured
+:class:`ScheduleMismatch` naming the phase, the position in the stream,
+the observed operation, and the set of statically expected next
+operations.
+
+The monitor is inert unless a schedule is installed — either explicitly
+via :func:`install_schedule` or automatically from the
+``REPRO_COMMFLOW_SCHEDULE`` environment variable (a path to the JSON
+artifact).  Observation only happens under ``REPRO_SANITIZE=1``, because
+only ``CheckedComm`` reports its collective stream.  Monitors are
+thread-local: each simulated SPMD rank (one thread) checks its own
+stream independently, which is exactly the SPMD property — every rank
+must traverse the same static automaton.
+
+Usage::
+
+    python -m repro.analysis.commflow src/ --schedule comm_schedule.json
+    REPRO_SANITIZE=1 REPRO_COMMFLOW_SCHEDULE=comm_schedule.json \\
+        python examples/parallel_amr.py 3 --cycles 1
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "ScheduleMismatch",
+    "install_schedule",
+    "uninstall_schedule",
+    "schedule_installed",
+    "schedule_phase",
+    "observe_collective",
+]
+
+#: environment variable holding the path of a schedule JSON to auto-load
+SCHEDULE_ENV = "REPRO_COMMFLOW_SCHEDULE"
+
+_LOCK = threading.Lock()
+_COMPILED: dict | None = None  # phase name -> (ScheduleNFA, entry qname)
+_TLS = threading.local()
+_ENV_TRIED = False
+
+
+class ScheduleMismatch(RuntimeError):
+    """The observed collective stream diverged from the static schedule.
+
+    Carries a structured ``diff`` dict with keys ``phase``, ``entry``,
+    ``position``, ``observed`` (``{"op", "site"}`` or ``None`` when the
+    phase ended early), ``expected`` (list of ``{"op", "site"}``), and
+    ``history`` (the tail of the already-matched stream).
+    """
+
+    def __init__(self, message: str, diff: dict):
+        super().__init__(message)
+        self.diff = diff
+
+    def report(self) -> str:
+        """Multi-line human-readable rendering of the diff."""
+        d = self.diff
+        obs = d.get("observed")
+        lines = [
+            "schedule conformance mismatch",
+            f"  phase    : {d.get('phase')} ({d.get('entry')})",
+            f"  position : collective #{d.get('position')} of this phase",
+            f"  observed : "
+            + (f"{obs['op']} at {obs['site']}" if obs else "<phase ended>"),
+            "  expected : "
+            + (
+                " | ".join(
+                    f"{e['op']} at {e['site'] or '<any>'}" for e in d.get("expected", [])
+                )
+                or "<end of phase>"
+            ),
+        ]
+        hist = d.get("history", [])
+        if hist:
+            lines.append("  matched  : " + ", ".join(f"{op}@{site}" for op, site in hist))
+        return "\n".join(lines)
+
+
+def install_schedule(source) -> None:
+    """Install a schedule (a JSON document dict, or a path to one)."""
+    global _COMPILED
+    from .commflow import ScheduleNFA
+
+    if isinstance(source, (str, Path)):
+        doc = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        doc = source
+    compiled: dict = {}
+    for phase, entry in doc.get("entries", {}).items():
+        compiled[phase] = (ScheduleNFA.from_tree(entry.get("tree")), entry.get("qname", "?"))
+    with _LOCK:
+        _COMPILED = compiled
+
+
+def uninstall_schedule() -> None:
+    """Remove any installed schedule (monitoring becomes a no-op)."""
+    global _COMPILED, _ENV_TRIED
+    with _LOCK:
+        _COMPILED = None
+        _ENV_TRIED = True  # do not silently re-load from the environment
+
+
+def _maybe_autoload() -> None:
+    global _ENV_TRIED
+    if _COMPILED is not None or _ENV_TRIED:
+        return
+    with _LOCK:
+        if _COMPILED is not None or _ENV_TRIED:
+            return
+        _ENV_TRIED = True
+    path = os.environ.get(SCHEDULE_ENV)
+    if path:
+        install_schedule(path)
+
+
+def schedule_installed() -> bool:
+    """Is a schedule currently installed (after env auto-load)?"""
+    _maybe_autoload()
+    return _COMPILED is not None
+
+
+class _Monitor:
+    """Per-phase, per-thread NFA run over the observed collective stream."""
+
+    __slots__ = ("phase", "entry", "nfa", "states", "history")
+
+    def __init__(self, phase: str, entry: str, nfa):
+        self.phase = phase
+        self.entry = entry
+        self.nfa = nfa
+        self.states = nfa.initial()
+        self.history: list = []
+
+    def _diff(self, observed) -> dict:
+        return {
+            "phase": self.phase,
+            "entry": self.entry,
+            "position": len(self.history),
+            "observed": observed,
+            "expected": [
+                {"op": op, "site": site} for op, site in self.nfa.expected(self.states)
+            ],
+            "history": list(self.history[-8:]),
+        }
+
+    def observe(self, op: str, site: str) -> None:
+        nxt = self.nfa.feed(self.states, op, site)
+        if not nxt:
+            diff = self._diff({"op": op, "site": site})
+            raise ScheduleMismatch(
+                f"phase '{self.phase}': observed collective '{op}' at {site} "
+                f"(position {len(self.history)}) does not match the static "
+                "schedule",
+                diff,
+            )
+        self.states = nxt
+        self.history.append((op, site))
+
+    def finish(self) -> None:
+        if not self.nfa.accepts(self.states):
+            diff = self._diff(None)
+            raise ScheduleMismatch(
+                f"phase '{self.phase}' ended after {len(self.history)} "
+                "collective(s) but the static schedule expects more — a "
+                "collective was skipped",
+                diff,
+            )
+
+
+def _stack() -> list:
+    s = getattr(_TLS, "stack", None)
+    if s is None:
+        s = []
+        _TLS.stack = s
+    return s
+
+
+@contextmanager
+def schedule_phase(name: str):
+    """Monitor the enclosed block against schedule entry ``name``.
+
+    A no-op when no schedule is installed or the schedule has no entry
+    for ``name``.  Monitors nest: every monitor on the thread's stack
+    observes the full stream, so an outer phase whose static signature
+    contains an inner phase's collectives stays consistent.
+    """
+    _maybe_autoload()
+    compiled = _COMPILED
+    if compiled is None or name not in compiled:
+        yield
+        return
+    nfa, entry = compiled[name]
+    mon = _Monitor(name, entry, nfa)
+    stack = _stack()
+    stack.append(mon)
+    try:
+        yield
+    finally:
+        stack.pop()
+    mon.finish()
+
+
+def observe_collective(op: str, site: str) -> None:
+    """Feed one observed collective to every active monitor.
+
+    Called by ``CheckedComm`` for each checked collective; ``op`` is the
+    canonical op name (decorations like ``allreduce[sum]`` stripped by
+    the caller) and ``site`` the user call site (``file.py:line``).
+    """
+    stack = getattr(_TLS, "stack", None)
+    if not stack:
+        return
+    for mon in list(stack):
+        mon.observe(op, site)

@@ -35,9 +35,11 @@ R4  **hot-loop hygiene** (modules PR 1 vectorized: ``assembly``,
 
 R5  **serialization determinism** (``checkpoint/`` only) — iteration
     over ``dict.items()`` / ``.keys()`` / ``.values()`` (in ``for``
-    statements or comprehensions) not wrapped in ``sorted(...)``.
-    Checkpoint bytes and digests must not depend on dict insertion
-    order, which varies with code path and restart history.
+    statements or comprehensions) not wrapped in ``sorted(...)``, and
+    iteration over ``set`` literals / ``set(...)`` values / set-typed
+    names.  Checkpoint bytes and digests must not depend on dict
+    insertion order or salted set order, which vary with code path,
+    restart history, and interpreter run.
 
 R6  **public-API docstrings** (documented packages ``obs/``, ``perf/``,
     ``checkpoint/`` only) — a module, top-level public class/function,
@@ -45,6 +47,12 @@ R6  **public-API docstrings** (documented packages ``obs/``, ``perf/``,
     starting with ``_`` (including dunders) and anything nested inside
     a function are exempt.  These packages are the user-facing
     instrumentation surface; their API reference is the docstrings.
+
+R7/R8/R9 are the *interprocedural* communication-flow rules (divergent
+collective order through call chains, send/recv pairing & deadlock,
+shared-buffer publication).  They live in
+:mod:`repro.analysis.commflow` and are merged into this CLI's findings,
+suppression, and baseline machinery by the ``--commflow`` flag.
 
 Suppression and baselining
 --------------------------
@@ -94,8 +102,11 @@ RULES = {
     "R2": "in-place mutation of a cached/memoized value",
     "R3": "missing explicit dtype / float32-float64 mixing in hot path",
     "R4": "per-element Python loop in a vectorized hot module",
-    "R5": "unordered dict iteration while serializing state",
+    "R5": "unordered dict/set iteration while serializing state",
     "R6": "missing docstring on a public symbol in a documented package",
+    "R7": "rank-dependent call chain reaching a collective (interprocedural)",
+    "R8": "unpaired or deadlocking point-to-point communication",
+    "R9": "in-place mutation of a buffer published to a comm op or shared cache",
 }
 
 #: methods on a communicator that every rank must call collectively
@@ -320,6 +331,47 @@ def _unsorted_dict_view(node: ast.AST) -> str | None:
     return None
 
 
+def _set_valued_rhs(node: ast.AST, set_names: set[str]) -> bool:
+    """RHS that yields a ``set`` (literal, comprehension, constructor,
+    set-algebra method on a known set, or alias of a set-typed name)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in ("set", "frozenset"):
+            return True
+        if isinstance(f, ast.Attribute) and f.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _set_valued_rhs(f.value, set_names)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _set_valued_rhs(node.left, set_names) or _set_valued_rhs(
+            node.right, set_names
+        )
+    return False
+
+
+def _unordered_set_iter(node: ast.AST, set_names: set[str]) -> bool:
+    """Does ``node`` iterate a set value without a ``sorted(...)``
+    wrapper?  Order-preserving wrappers are looked through, mirroring
+    :func:`_unsorted_dict_view`."""
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name):
+            if f.id == "sorted":
+                return False
+            if f.id in ("enumerate", "reversed", "list", "tuple", "iter"):
+                return any(_unordered_set_iter(a, set_names) for a in node.args)
+    return _set_valued_rhs(node, set_names)
+
+
 def _cache_handle_rhs(node: ast.AST) -> bool:
     """RHS that yields a cache handle: ``operator_cache(mesh)``."""
     if isinstance(node, ast.Call):
@@ -379,6 +431,7 @@ class _Scope:
     cached: set[str]
     f32_names: set[str]
     literal_accums: set[str]
+    set_names: set[str]
 
 
 class _FileLinter(ast.NodeVisitor):
@@ -395,7 +448,7 @@ class _FileLinter(ast.NodeVisitor):
         self.r6_active = any(p in parts for p in R6_PACKAGES)
         # stack of rank-dependent control constructs (kind, line)
         self._ctrl: list[tuple[str, int]] = []
-        self._scope = _Scope(set(), set(), set(), set(), set())
+        self._scope = _Scope(set(), set(), set(), set(), set(), set())
         # R6 context: (container kind, is a checked public surface)
         self._doc_ctx: list[tuple[str, bool]] = [("module", True)]
 
@@ -459,6 +512,7 @@ class _FileLinter(ast.NodeVisitor):
             cached=set(outer.cached),
             f32_names=set(),
             literal_accums=set(),
+            set_names=set(outer.set_names),
         )
         # parameters named like caches are treated as handles
         for arg in list(node.args.args) + list(node.args.kwonlyargs):
@@ -550,6 +604,7 @@ class _FileLinter(ast.NodeVisitor):
         is_handle = _cache_handle_rhs(node.value)
         is_cached = _cached_value_rhs(node.value, scope.handles, scope.cached)
         is_f32 = self._float32_rhs(node.value)
+        is_set = _set_valued_rhs(node.value, scope.set_names)
         is_literal = isinstance(node.value, ast.Constant) and isinstance(
             node.value.value, (int, float)
         ) and not isinstance(node.value.value, bool)
@@ -559,6 +614,7 @@ class _FileLinter(ast.NodeVisitor):
                 scope.handles.add(name) if is_handle else scope.handles.discard(name)
                 scope.cached.add(name) if is_cached else scope.cached.discard(name)
                 scope.f32_names.add(name) if is_f32 else scope.f32_names.discard(name)
+                scope.set_names.add(name) if is_set else scope.set_names.discard(name)
                 if is_literal:
                     scope.literal_accums.add(name)
                 else:
@@ -640,6 +696,13 @@ class _FileLinter(ast.NodeVisitor):
                 f"iteration over dict '.{method}()' while serializing state; "
                 "wrap in sorted(...) so byte layout and digests are "
                 "insertion-order independent",
+            )
+        elif _unordered_set_iter(it, self._scope.set_names):
+            self._emit(
+                it,
+                "R5",
+                "iteration over a set while serializing state; set order is "
+                "salted and varies across runs — wrap in sorted(...)",
             )
 
     def _visit_comprehension(self, node) -> None:
@@ -817,10 +880,31 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write current findings as the new baseline and exit 0",
     )
-    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument(
+        "--commflow",
+        action="store_true",
+        help="also run the interprocedural comm-flow analysis (rules R7-R9)",
+    )
+    ap.add_argument("--format", choices=("text", "json", "github"), default="text")
     args = ap.parse_args(argv)
 
-    findings = lint_paths(args.paths or ["src"])
+    paths = args.paths or ["src"]
+    findings = lint_paths(paths)
+    if args.commflow:
+        from .commflow import commflow_findings
+
+        merged = findings + commflow_findings(paths)
+        # drop interprocedural R7 findings that duplicate a lexical R1
+        # at the same location (R7 subsumes R1 but must not double-report)
+        r1_sites = {(f.file, f.line) for f in merged if f.rule == "R1"}
+        findings = sorted(
+            (
+                f
+                for f in merged
+                if not (f.rule == "R7" and (f.file, f.line) in r1_sites)
+            ),
+            key=lambda f: (f.file, f.line, f.col, f.rule),
+        )
 
     if args.write_baseline:
         write_baseline(findings, args.write_baseline)
@@ -840,6 +924,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(json.dumps([asdict(f) for f in fresh], indent=2))
+    elif args.format == "github":
+        # GitHub Actions workflow-command annotations: findings surface
+        # inline on the PR diff.  Messages must be single-line with
+        # %, \r, \n escaped per the workflow-command encoding.
+        def esc(s: str) -> str:
+            return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+        for f in fresh:
+            print(
+                f"::error file={f.file},line={f.line},col={f.col},"
+                f"title=repro-lint {f.rule}::{esc(f.message)}"
+            )
+        print(f"{len(fresh)} new finding(s)", file=sys.stderr)
     else:
         for f in fresh:
             print(f.render())

@@ -36,6 +36,12 @@ activate.  Programmatic control: :func:`install` / :func:`uninstall`
 
 The tier-1 suite is required to pass with ``REPRO_SANITIZE=1`` — the
 sanitizers change failure modes, never results.
+
+``REPRO_SANITIZE_TIMEOUT`` (seconds) overrides the metadata-barrier
+timeout; with ``REPRO_COMMFLOW_SCHEDULE`` pointing at a static comm
+schedule (see :mod:`repro.analysis.commflow`), every checked collective
+is additionally replayed against the schedule automaton and a
+divergence raises :class:`repro.analysis.conformance.ScheduleMismatch`.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ from typing import Any
 import numpy as np
 
 from ..parallel.simcomm import SimComm, SimWorld, SpmdAbort, set_comm_factory
+from . import conformance
 
 __all__ = [
     "CheckedComm",
@@ -145,7 +152,8 @@ class CheckedComm(SimComm):
     """
 
     #: seconds a rank waits at a metadata barrier before declaring the
-    #: world diverged (some rank never issued the matching collective)
+    #: world diverged (some rank never issued the matching collective);
+    #: overridable per-run with ``REPRO_SANITIZE_TIMEOUT`` (seconds)
     DEFAULT_TIMEOUT = 10.0
 
     def __init__(
@@ -157,6 +165,12 @@ class CheckedComm(SimComm):
         max_history: int = 64,
     ):
         super().__init__(world, rank)
+        if timeout is None:
+            env = os.environ.get("REPRO_SANITIZE_TIMEOUT", "")
+            try:
+                timeout = float(env) if env else None
+            except ValueError:
+                timeout = None
         self.timeout = self.DEFAULT_TIMEOUT if timeout is None else float(timeout)
         self._seq = 0
         self._history: deque = deque(maxlen=max_history)
@@ -214,6 +228,11 @@ class CheckedComm(SimComm):
             "site": _call_site(),
             "sig": _payload_signature(payload),
         }
+        # schedule conformance: replay the observed stream against the
+        # static comm schedule (no-op unless a schedule is installed);
+        # checked *before* the metadata barrier so a divergent rank
+        # raises a structured diff instead of engaging the exchange
+        conformance.observe_collective(op.partition("[")[0], meta["site"])
         self._seq += 1
         self._history.append((meta["seq"], op, meta["site"], meta["sig"]))
         w = self._world

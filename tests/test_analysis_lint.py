@@ -672,3 +672,148 @@ class TestR6FalsePositives:
             return 1
         '''
         assert rules(src, OBS) == []
+
+
+# --------------------------------------------------------------------------
+# R5 on sets: salted iteration order while serializing state
+
+
+class TestR5SetTruePositives:
+    def test_set_literal_iteration(self):
+        src = """
+        def pack(emit):
+            names = {"T", "keys", "levels"}
+            for name in names:
+                emit(name)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_set_call_iteration(self):
+        src = """
+        def pack(arrays, emit):
+            pending = set(arrays)
+            for name in pending:
+                emit(name)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_set_comprehension_iteration(self):
+        src = """
+        def pack(arrays, emit):
+            stems = {n.split("/")[0] for n in arrays}
+            for s in stems:
+                emit(s)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_set_union_iteration(self):
+        src = """
+        def pack(a, b, emit):
+            left = set(a)
+            right = set(b)
+            both = left | right
+            for name in both:
+                emit(name)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_set_method_union_iteration(self):
+        src = """
+        def pack(a, b, emit):
+            left = set(a)
+            for name in left.union(b):
+                emit(name)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_set_through_enumerate(self):
+        src = """
+        def pack(arrays, emit):
+            names = set(arrays)
+            for i, name in enumerate(names):
+                emit(i, name)
+        """
+        assert r5(src) == ["R5"]
+
+    def test_message_mentions_sorted(self):
+        src = """
+        def pack(emit):
+            names = {"a", "b"}
+            for n in names:
+                emit(n)
+        """
+        f = [x for x in findings(src, CKPT) if x.rule == "R5"][0]
+        assert "sorted" in f.message
+
+
+class TestR5SetFalsePositives:
+    def test_sorted_set_is_fine(self):
+        src = """
+        def pack(arrays, emit):
+            names = set(arrays)
+            for name in sorted(names):
+                emit(name)
+        """
+        assert r5(src) == []
+
+    def test_rebound_to_list_is_fine(self):
+        src = """
+        def pack(arrays, emit):
+            names = set(arrays)
+            names = sorted(names)
+            for name in names:
+                emit(name)
+        """
+        assert r5(src) == []
+
+    def test_membership_test_is_fine(self):
+        src = """
+        def pack(arrays, emit):
+            skip = {"tmp"}
+            for name in sorted(arrays):
+                if name in skip:
+                    continue
+                emit(name)
+        """
+        assert r5(src) == []
+
+    def test_inactive_outside_checkpoint(self):
+        src = """
+        def pack(emit):
+            names = {"a", "b"}
+            for n in names:
+                emit(n)
+        """
+        assert rules(src, COLD) == []
+
+
+# --------------------------------------------------------------------------
+# --format=github annotations
+
+
+class TestGithubFormat:
+    def test_annotations_emitted(self, tmp_path, capsys):
+        fem = tmp_path / "fem"
+        fem.mkdir()
+        (fem / "bad.py").write_text("import numpy as np\na = np.zeros(3)\n")
+        assert main([str(fem), "--no-baseline", "--format=github"]) == 1
+        out = capsys.readouterr().out
+        line = [ln for ln in out.splitlines() if ln.startswith("::error ")][0]
+        assert "file=" in line and "line=2" in line and "repro-lint R3" in line
+
+    def test_newlines_escaped(self, tmp_path, capsys):
+        fem = tmp_path / "fem"
+        fem.mkdir()
+        (fem / "bad.py").write_text("import numpy as np\na = np.zeros(3)\n")
+        main([str(fem), "--no-baseline", "--format=github"])
+        out = capsys.readouterr().out
+        for ln in out.splitlines():
+            if ln.startswith("::error "):
+                assert "\n" not in ln[1:]
+
+    def test_clean_tree_emits_nothing(self, tmp_path, capsys):
+        fem = tmp_path / "fem"
+        fem.mkdir()
+        (fem / "ok.py").write_text("x = 1\n")
+        assert main([str(fem), "--no-baseline", "--format=github"]) == 0
+        assert "::error" not in capsys.readouterr().out

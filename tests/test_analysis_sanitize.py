@@ -377,3 +377,37 @@ class TestDirectConstruction:
         comm = f(SimWorld(1), 0)
         assert comm.timeout == 2.5
         assert comm._rng is not None
+
+
+# --------------------------------------------------------------------------
+# REPRO_SANITIZE_TIMEOUT environment override
+
+
+class TestTimeoutEnv:
+    def test_env_overrides_default(self, monkeypatch):
+        from repro.parallel.simcomm import SimWorld
+
+        monkeypatch.setenv("REPRO_SANITIZE_TIMEOUT", "3.5")
+        comm = CheckedComm(SimWorld(1), 0)
+        assert comm.timeout == 3.5
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        from repro.parallel.simcomm import SimWorld
+
+        monkeypatch.setenv("REPRO_SANITIZE_TIMEOUT", "3.5")
+        comm = CheckedComm(SimWorld(1), 0, timeout=1.0)
+        assert comm.timeout == 1.0
+
+    def test_unset_env_keeps_default(self, monkeypatch):
+        from repro.parallel.simcomm import SimWorld
+
+        monkeypatch.delenv("REPRO_SANITIZE_TIMEOUT", raising=False)
+        comm = CheckedComm(SimWorld(1), 0)
+        assert comm.timeout == CheckedComm.DEFAULT_TIMEOUT
+
+    def test_garbage_env_falls_back_to_default(self, monkeypatch):
+        from repro.parallel.simcomm import SimWorld
+
+        monkeypatch.setenv("REPRO_SANITIZE_TIMEOUT", "soon")
+        comm = CheckedComm(SimWorld(1), 0)
+        assert comm.timeout == CheckedComm.DEFAULT_TIMEOUT
