@@ -140,7 +140,9 @@ R3_PACKAGES = ("fem", "solvers", "mangll")
 #: matfree joined in PR 4 (the sum-factorized apply engine is the hottest
 #: loop in the code and must stay loop-free outside annotated exceptions);
 #: traverse / faces / recursive joined in PR 6 (the recursive forest
-#: algorithms on the AMR hot path are breadth-first vectorized)
+#: algorithms on the AMR hot path are breadth-first vectorized);
+#: batch joined in PR 8 (the fleet's lockstep batched cycle is the
+#: multi-tenant hot path — only annotated O(B) per-job loops allowed)
 R4_MODULES = {
     "assembly",
     "amg",
@@ -150,6 +152,7 @@ R4_MODULES = {
     "traverse",
     "faces",
     "recursive",
+    "batch",
 }
 
 #: path fragments where R5 (serialization determinism) is enforced —
@@ -158,8 +161,9 @@ R5_PACKAGES = ("checkpoint",)
 
 #: path fragments where R6 (public-API docstrings) is enforced — the
 #: user-facing instrumentation packages whose reference docs *are* the
-#: docstrings (see OBSERVABILITY.md)
-R6_PACKAGES = ("obs", "perf", "checkpoint")
+#: docstrings (see OBSERVABILITY.md); fleet joined in PR 8 (the
+#: multi-tenant service API is user-facing)
+R6_PACKAGES = ("obs", "perf", "checkpoint", "fleet")
 
 #: dict-view methods whose iteration order is insertion order
 DICT_VIEW_METHODS = {"items", "keys", "values"}

@@ -151,10 +151,15 @@ def convection_arrays(sim, include_solver_state: bool = True) -> dict:
 
 
 def save_convection(
-    sim, root: str, keep: int | None = 2, include_solver_state: bool = True
+    sim, root: str, keep: int | None = 2, include_solver_state: bool = True,
+    extra_meta: dict | None = None,
 ) -> str:
     """Serial snapshot of a MantleConvection run; returns the final path.
 
+    ``extra_meta`` (JSON-serializable) is stored verbatim under
+    ``meta["extra"]`` in the manifest — the fleet service stamps each
+    per-job snapshot namespace with its job id / tenant there, and
+    verifies the stamp on resume to guard against cross-job restores.
     Recorded under the ``checkpoint/save`` phase when a
     :mod:`repro.obs` timer is bound.
 
@@ -163,11 +168,14 @@ def save_convection(
         path = save_convection(sim, "ckpts", include_solver_state=True)
     """
     with obs.phase("checkpoint/save"):
-        return _save_convection_impl(sim, root, keep, include_solver_state)
+        return _save_convection_impl(
+            sim, root, keep, include_solver_state, extra_meta
+        )
 
 
 def _save_convection_impl(
-    sim, root: str, keep: int | None, include_solver_state: bool
+    sim, root: str, keep: int | None, include_solver_state: bool,
+    extra_meta: dict | None = None,
 ) -> str:
     cfg = sim.config
     step = sim.step_count
@@ -199,6 +207,7 @@ def _save_convection_impl(
                 "velocity_bc": cfg.velocity_bc,
             },
             "fields": ["T", "u"],
+            **({"extra": extra_meta} if extra_meta is not None else {}),
         },
         shards=[info],
     )

@@ -56,6 +56,7 @@ __all__ = [
     "MatFreeAdvectionOperator",
     "apply_scalar_mass",
     "lumped_scalar_mass",
+    "batched_lumped_scalar_mass",
     "velocity_gather",
     "scalar_gather",
     "gauss_matrices",
@@ -245,19 +246,31 @@ class MatFreeStokesOperator:
         self.gu = velocity_gather(mesh, bc_key, bc_dofs)
         self.gp = scalar_gather(mesh)
         w, ih, vol = _geometry(mesh)
+        # Batched mode: a (nb, ne) viscosity advances nb scenarios per
+        # GEMM by merging the batch axis into the element axis (flat
+        # order e * nb + b, which is exactly how a (24 ne, nb) gather
+        # result reshapes to (3, 8, ne * nb)).  Geometry is shared, so
+        # per-element coefficients are repeated scenario-minor.
+        eta0 = np.asarray(viscosity, dtype=np.float64)
+        self.nb = 1 if eta0.ndim == 1 else int(eta0.shape[0])
+        if self.nb > 1:
+            w = np.repeat(w, self.nb)
+            ih = np.repeat(ih, self.nb, axis=0)
+            vol = np.repeat(vol, self.nb)
+        m = ne * self.nb
         self.ih = ih
-        self.ihT = np.ascontiguousarray(ih.T)  # (3, ne)
+        self.ihT = np.ascontiguousarray(ih.T)  # (3, m)
         self.w = w
         self.vol = vol
         self.update_viscosity(viscosity)
         # per-apply workspaces (reused across MINRES iterations), all in
         # element-minor layout
-        self._g = np.empty((3, 12, ne), dtype=np.float64)
-        self._t1 = np.empty((3, 12, ne), dtype=np.float64)
-        self._acc = np.empty((3, 8, ne), dtype=np.float64)
-        self._pq = np.empty((8, ne), dtype=np.float64)
-        self._cin = np.empty((4, 20, ne), dtype=np.float64)
-        self._cout = np.empty((4, 8, ne), dtype=np.float64)
+        self._g = np.empty((3, 12, m), dtype=np.float64)
+        self._t1 = np.empty((3, 12, m), dtype=np.float64)
+        self._acc = np.empty((3, 8, m), dtype=np.float64)
+        self._pq = np.empty((8, m), dtype=np.float64)
+        self._cin = np.empty((4, 20, m), dtype=np.float64)
+        self._cout = np.empty((4, 8, m), dtype=np.float64)
 
     def update_viscosity(self, viscosity: np.ndarray) -> None:
         """Rebind the per-element coefficients (no mesh-derived rebuild) —
@@ -273,6 +286,16 @@ class MatFreeStokesOperator:
         ``sqrt(w / eta)``.
         """
         eta = np.asarray(viscosity, dtype=np.float64)
+        if eta.ndim == 2:
+            if eta.shape[0] != self.nb:
+                raise ValueError(
+                    f"batched viscosity has {eta.shape[0]} scenarios, "
+                    f"operator was built for {self.nb}"
+                )
+            # element-major, scenario-minor flat order e * nb + b
+            eta = np.ascontiguousarray(eta.T).ravel()
+        elif self.nb > 1:
+            raise ValueError("batched operator needs a (nb, ne) viscosity")
         sihT = np.sqrt(self.w * eta)[None, :] * self.ihT  # (3, ne)
         self.sihT = sihT
         # grad-grad coefficient on pre-scaled gradients:
@@ -284,15 +307,22 @@ class MatFreeStokesOperator:
         self.stab_mean = self.vol / 64.0 / eta  # rank-one DB projection term
 
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Full saddle matvec ``[[A, B^T], [B, -C]] x``."""
+        """Full saddle matvec ``[[A, B^T], [B, -C]] x``.
+
+        In batched mode ``x`` is ``(n_dof, nb)`` — one scenario per
+        column — and the result has the same shape; every GEMM below then
+        advances all ``nb`` scenarios at once on the merged
+        element-batch axis.
+        """
         obs.counter("matfree_applies")
         ne = self.mesh.n_elements
+        m = ne * self.nb
         u, p = x[: self.n_u], x[self.n_u :]
         # gather to element space (constraints + Dirichlet mask folded in)
         # and pre-scale each component by sih_a (see update_viscosity)
-        UeT = (self.gu.G @ u).reshape(3, 8, ne)
+        UeT = (self.gu.G @ u).reshape(3, 8, m)
         UeT *= self.sihT[:, None, :]
-        peT = (self.gp.G @ p).reshape(8, ne)
+        peT = (self.gp.G @ p).reshape(8, m)
         # forward: all nine reduced-grid reference gradients in one
         # batched GEMM; gs[a, 4 b + m, e] = sih_a d_b u_a at reduced
         # point m of element e
@@ -302,7 +332,7 @@ class MatFreeStokesOperator:
         # every channel is b-reduced, one fused backward GEMM
         t1 = self._t1
         np.multiply(
-            gs.reshape(3, 3, 4, ne), self.c1T[:, :, None, :], out=t1.reshape(3, 3, 4, ne)
+            gs.reshape(3, 3, 4, m), self.c1T[:, :, None, :], out=t1.reshape(3, 3, 4, m)
         )
         acc = np.matmul(_BWD_RED_T[None], t1, out=self._acc)
         # one batched GEMM for everything else.  Batch a < 3 (velocity
@@ -312,12 +342,12 @@ class MatFreeStokesOperator:
         # divergence channels sqrt(w/eta) gs[a, a] through -Dup_a^T E8 and
         # the Dohrmann-Bochev mass channel w/eta p(x_q) through -E8.
         cin = self._cin
-        gs4 = gs.reshape(3, 3, 4, ne)
+        gs4 = gs.reshape(3, 3, 4, m)
         for a in range(3):  # lint: allow-loop
             np.multiply(
                 gs4[:, a, :, :],
                 self.sihT[a, None, None, :],
-                out=cin[a, :12].reshape(3, 4, ne),
+                out=cin[a, :12].reshape(3, 4, m),
             )
             np.multiply(
                 gs4[a, a, :, :],
@@ -331,14 +361,24 @@ class MatFreeStokesOperator:
         ope = cout[3]
         ope += (self.stab_mean * peT.sum(axis=0))[None, :]
         out = np.empty_like(x)
-        out[self.n_u :] = self.gp.GT @ ope.ravel()
-        out_u = out[: self.n_u]
-        out_u[:] = self.gu.GT @ acc.ravel()
-        out_u += self.gu.imask * u  # identity rows of apply_dirichlet
+        if x.ndim == 1:
+            out[self.n_u :] = self.gp.GT @ ope.ravel()
+            out_u = out[: self.n_u]
+            out_u[:] = self.gu.GT @ acc.ravel()
+            out_u += self.gu.imask * u  # identity rows of apply_dirichlet
+        else:
+            # also reached by a width-1 batch (a lone compacted column)
+            # (8, ne * nb) -> (8 ne, nb) is a free reshape (same strides)
+            out[self.n_u :] = self.gp.GT @ ope.reshape(8 * ne, self.nb)
+            out_u = out[: self.n_u]
+            out_u[:] = self.gu.GT @ acc.reshape(24 * ne, self.nb)
+            out_u += self.gu.imask[:, None] * u
         return out
 
     def apply_divergence(self, u: np.ndarray) -> np.ndarray:
         """``B u`` alone (for divergence residual norms)."""
+        if self.nb != 1:
+            raise ValueError("apply_divergence is serial-only; slice one scenario")
         ne = self.mesh.n_elements
         UeT = (self.gu.G @ u).reshape(3, 8, ne)
         g = np.matmul(_FWD_GRAD_T[None], UeT).reshape(3, 3, 8, ne)
@@ -392,6 +432,31 @@ def lumped_scalar_mass(mesh: Mesh, coeff: np.ndarray | float = 1.0) -> np.ndarra
     return d
 
 
+def batched_lumped_scalar_mass(mesh: Mesh, coeff: np.ndarray) -> np.ndarray:
+    """Per-scenario Schur diagonals in one sweep: ``coeff`` is
+    ``(nb, ne)`` and the result is ``(n, nb)``, column ``b`` equal to
+    ``lumped_scalar_mass(mesh, coeff[b])`` up to GEMM reassociation.
+
+    This is the batched-channel-scaling form used by the fleet engine:
+    the gather/backward GEMMs run once on the merged element-batch axis
+    instead of ``nb`` separate sparse passes.
+    """
+    coeff = np.asarray(coeff, dtype=np.float64)
+    if coeff.ndim != 2:
+        raise ValueError("coeff must be (nb, ne)")
+    nb, ne = coeff.shape
+    gp = scalar_gather(mesh)
+    w, _, _ = _geometry(mesh)
+    ones = np.ones((mesh.n_independent, nb), dtype=np.float64)
+    TqT = E8 @ (gp.G @ ones).reshape(8, ne * nb)
+    wc = (w[:, None] * coeff.T).reshape(-1)  # e * nb + b flat order
+    out_e = E8.T @ (wc[None, :] * TqT)
+    d = gp.GT @ out_e.reshape(8 * ne, nb)
+    if np.any(d <= 0):
+        raise AssertionError("non-positive lumped mass entry")
+    return d
+
+
 # -- SUPG advection-diffusion rate operator -------------------------------------
 
 
@@ -405,22 +470,43 @@ class MatFreeAdvectionOperator:
     mass channel and the three flux channels.
     """
 
-    def __init__(self, mesh: Mesh, kappa: float, vel: np.ndarray, tau: np.ndarray):
+    def __init__(self, mesh: Mesh, kappa, vel: np.ndarray, tau: np.ndarray):
         self.mesh = mesh
         ne = mesh.n_elements
         self.gp = scalar_gather(mesh)
         w, ih, _ = _geometry(mesh)
-        self.ihT = np.ascontiguousarray(ih.T)  # (3, ne)
-        self.velT = np.ascontiguousarray(np.asarray(vel, dtype=np.float64).T)
-        self.w = w
-        self.wk = w * float(kappa)  # diffusive flux prefactor
-        self.wtauvelT = (w * np.asarray(tau, dtype=np.float64))[None, :] * self.velT
-        self._f = np.empty((32, ne), dtype=np.float64)
-        self._c = np.empty((32, ne), dtype=np.float64)
+        vel = np.asarray(vel, dtype=np.float64)
+        # Batched mode mirrors MatFreeStokesOperator: vel (nb, ne, 3),
+        # tau (nb, ne), kappa scalar or (nb,), merged flat order e*nb+b.
+        self.nb = 1 if vel.ndim == 2 else int(vel.shape[0])
+        if vel.ndim == 2:  # serial layout (a width-1 batch stays batched)
+            self.velT = np.ascontiguousarray(vel.T)
+            self.w = w
+            self.wk = w * float(kappa)  # diffusive flux prefactor
+            wtau = w * np.asarray(tau, dtype=np.float64)
+        else:
+            ih = np.repeat(ih, self.nb, axis=0)
+            self.velT = np.ascontiguousarray(vel.transpose(2, 1, 0)).reshape(3, -1)
+            kb = np.broadcast_to(
+                np.asarray(kappa, dtype=np.float64), (self.nb,)
+            )
+            self.w = np.repeat(w, self.nb)
+            self.wk = (w[:, None] * kb[None, :]).ravel()
+            wtau = (w[:, None] * np.asarray(tau, dtype=np.float64).T).ravel()
+        self.ihT = np.ascontiguousarray(ih.T)  # (3, m)
+        self.wtauvelT = wtau[None, :] * self.velT
+        m = ne * self.nb
+        self._f = np.empty((32, m), dtype=np.float64)
+        self._c = np.empty((32, m), dtype=np.float64)
 
     def apply(self, T: np.ndarray) -> np.ndarray:
-        """``A T`` for the assembled-equivalent SUPG operator."""
-        TeT = (self.gp.G @ T).reshape(8, self.mesh.n_elements)
+        """``A T`` for the assembled-equivalent SUPG operator.
+
+        Batched mode: ``T`` is ``(n, nb)``, one scenario per column, and
+        the result matches that shape.
+        """
+        ne = self.mesh.n_elements
+        TeT = (self.gp.G @ T).reshape(8, ne * self.nb)
         f = np.matmul(_FWD_SCAL_T, TeT, out=self._f)
         g = f[8:].reshape(3, 8, -1)
         g *= self.ihT[:, None, :]  # physical gradients
@@ -435,7 +521,9 @@ class MatFreeAdvectionOperator:
         cg += self.wtauvelT[:, None, :] * adv[None, :, :]
         cg *= self.ihT[:, None, :]
         out_e = _BWD_SCAL_T @ c
-        return self.gp.GT @ out_e.ravel()
+        if T.ndim == 1:
+            return self.gp.GT @ out_e.ravel()
+        return self.gp.GT @ out_e.reshape(8 * self.mesh.n_elements, self.nb)
 
 
 # -- flop / byte accounting (prices the kernel choice in MachineModel) ----------

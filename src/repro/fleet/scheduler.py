@@ -1,0 +1,134 @@
+"""Cooperative fleet scheduling: jobs, queues, and group selection.
+
+The fleet runs many tenants' scenarios through one process without
+threads: the :class:`~repro.fleet.service.FleetService` is generator /
+step-driven, and this module supplies the *policy* — which jobs form the
+next lockstep batch group, and how consumed quanta are charged back.
+
+Selection is three-keyed, applied in order:
+
+1. **priority** (higher first) — a tenant's own urgency knob;
+2. **fair share** — among equal priorities, the tenant with the least
+   consumed scheduling quanta goes first, so a tenant submitting 100
+   scenarios cannot starve one submitting 2;
+3. **deadline** (earliest first, ``None`` = never urgent), then
+   admission order as the final deterministic tiebreak.
+
+The top-ranked runnable job *leads* the quantum; every other runnable
+job sharing its interned mesh object joins the batch group (lockstep
+batching is only sound across identical structures), so the group is as
+wide as the registry allows without violating the ranking of the lead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .spec import ScenarioSpec
+
+__all__ = ["FleetJob", "FleetScheduler", "RUNNABLE_STATES"]
+
+#: states from which a job can be picked into a batch group
+RUNNABLE_STATES = ("queued", "running", "preempted")
+
+
+@dataclass
+class FleetJob:
+    """One admitted scenario's runtime record: spec, live sim, status.
+
+    ``status`` walks ``queued -> running -> done`` (with ``preempted``
+    between ``running`` states across a budget exhaustion, and
+    ``failed`` terminal on admission-time materialization errors).
+    ``quanta`` counts consumed scheduler quanta — the fair-share
+    currency.
+    """
+
+    spec: ScenarioSpec
+    sim: object | None = None  # MantleConvection, attached at first run
+    status: str = "queued"
+    cycles_done: int = 0
+    seq: int = 0
+    quanta: int = 0
+    error: str | None = None
+    checkpoint_dir: str | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def job_id(self) -> str:
+        """The spec's job id (the checkpoint-namespace key)."""
+        return self.spec.job_id
+
+    @property
+    def tenant(self) -> str:
+        """The spec's tenant (the fair-share accounting key)."""
+        return self.spec.tenant
+
+    @property
+    def remaining(self) -> int:
+        """Cycles still owed to this job."""
+        return max(int(self.spec.cycles) - self.cycles_done, 0)
+
+    @property
+    def runnable(self) -> bool:
+        """True when the job can join a batch group this quantum."""
+        return self.status in RUNNABLE_STATES and self.remaining > 0
+
+
+class FleetScheduler:
+    """Pure scheduling policy over a set of :class:`FleetJob` records.
+
+    Holds only the fair-share ledger (per-tenant consumed quanta); the
+    job list itself lives in the service.  Deterministic: identical
+    admission sequences and charges produce identical group choices.
+
+    Example::
+
+        sched = FleetScheduler()
+        group = sched.select(jobs)     # lockstep group for the quantum
+        sched.charge(group)            # bill one quantum to each member
+    """
+
+    def __init__(self):
+        self.tenant_quanta: dict[str, int] = {}
+
+    def rank_key(self, job: FleetJob):
+        """Sort key implementing priority > fair share > EDF > seq."""
+        deadline = (
+            float(job.spec.deadline)
+            if job.spec.deadline is not None
+            else math.inf
+        )
+        return (
+            -int(job.spec.priority),
+            self.tenant_quanta.get(job.tenant, 0),
+            deadline,
+            job.seq,
+        )
+
+    def select(self, jobs: list[FleetJob]) -> list[FleetJob]:
+        """The next quantum's batch group (empty when nothing is runnable).
+
+        The best-ranked runnable job leads; every runnable job whose sim
+        shares the lead's mesh *object* joins (identity, not structural
+        equality — the registry interns structures, so identity is the
+        sound lockstep criterion).  Group order is admission order, so
+        batch column layout is stable across quanta.
+        """
+        runnable = [j for j in jobs if j.runnable and j.sim is not None]
+        if not runnable:
+            return []
+        lead = min(runnable, key=self.rank_key)
+        mesh = lead.sim.mesh
+        return sorted(
+            (j for j in runnable if j.sim.mesh is mesh),
+            key=lambda j: j.seq,
+        )
+
+    def charge(self, group: list[FleetJob]) -> None:
+        """Bill one scheduling quantum to each group member's tenant."""
+        for job in group:
+            job.quanta += 1
+            self.tenant_quanta[job.tenant] = (
+                self.tenant_quanta.get(job.tenant, 0) + 1
+            )

@@ -32,6 +32,7 @@ from .report import (
     PHASE_GROUPS,
     classify_phase,
     generate_report,
+    job_phases,
     markdown_report,
     model_phase_comm,
 )
@@ -65,4 +66,5 @@ __all__ = [
     "model_phase_comm",
     "generate_report",
     "markdown_report",
+    "job_phases",
 ]

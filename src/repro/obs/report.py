@@ -35,6 +35,7 @@ __all__ = [
     "model_phase_comm",
     "generate_report",
     "markdown_report",
+    "job_phases",
 ]
 
 #: top-level phase name -> report component (everything else is "other")
@@ -60,6 +61,34 @@ def classify_phase(path: str) -> str:
         classify_phase("io")            # -> "other"
     """
     return PHASE_GROUPS.get(path.split("/", 1)[0], "other")
+
+
+def job_phases(results: dict) -> dict:
+    """Group job-id-tagged phase records by job.
+
+    The fleet service tags per-job work by opening phases whose path
+    contains a ``job:<id>`` segment (``fleet/job:j3/checkpoint``, ...).
+    Given one rank's :meth:`~repro.obs.timer.PhaseTimer.results`, this
+    returns ``{job_id: {subpath: record}}`` where ``subpath`` is the
+    path below the job segment (``""`` for the segment itself) — the
+    per-tenant metering view the fleet accountant renders.
+
+    Example::
+
+        with obs.phase("fleet/job:j3/checkpoint"):
+            ...
+        job_phases(timer.results())  # -> {"j3": {"checkpoint": {...}}}
+    """
+    out: dict[str, dict] = {}
+    for path, rec in results.items():
+        parts = path.split("/")
+        for i, seg in enumerate(parts):
+            if seg.startswith("job:") and len(seg) > 4:
+                job_id = seg[4:]
+                sub = "/".join(parts[i + 1 :])
+                out.setdefault(job_id, {})[sub] = rec
+                break
+    return out
 
 
 def _roots(paths) -> list[str]:

@@ -49,6 +49,18 @@ the overhead of the PR-3 checkpoint subsystem:
   cycle; records the snapshot wall-fraction per cycle, shard bytes per
   element, and the wall time of a restore onto a different rank count.
 
+A sixth suite (``--suite fleet``, BENCH_fleet.json) measures the PR-8
+multi-tenant batched scenario service:
+
+- ``fleet_throughput``: N same-structure scenarios run through the
+  fleet's lockstep batch groups vs. the honest serial one-scenario
+  loop (per-job mesh, per-job AMG, per-job MINRES); records the
+  aggregate throughput ratio (target: >= 10x at N >= 16) and the
+  batched-vs-serial per-job diagnostics deviation.
+- ``fleet_preempt``: budget exhaustion mid-fleet -> per-job snapshots ->
+  resume -> finish; the resumed per-job diagnostics must reproduce the
+  uninterrupted run.
+
 A fourth suite (``--suite obs``, BENCH_obs.json) exercises the
 :mod:`repro.obs` observability layer:
 
@@ -98,6 +110,7 @@ __all__ = [
     "run_matvec_suite",
     "run_obs_suite",
     "run_amr_suite",
+    "run_fleet_suite",
     "main",
 ]
 
@@ -965,6 +978,183 @@ def run_checkpoint_suite(smoke: bool = False) -> dict:
     return out
 
 
+def _fleet_specs(n_jobs: int, cycles: int, level: int) -> list:
+    """Heterogeneous same-structure scenario specs for the fleet benches:
+    per-job Ra / activation energy sweeps with every fourth job on the
+    yielding rheology, spread over three tenants."""
+    from ..fleet import ScenarioSpec
+
+    specs = []
+    for i in range(n_jobs):
+        law = "yielding" if i % 4 == 3 else "arrhenius"
+        specs.append(
+            ScenarioSpec(
+                job_id=f"j{i:02d}",
+                tenant=f"t{i % 3}",
+                Ra=1e4 * (1.0 + 0.5 * (i % 16)),
+                viscosity_law=law,
+                activation_energy=3.0 + 0.25 * (i % 12),
+                yield_stress=(4.0 + 0.1 * (i % 12)) if law == "yielding" else None,
+                initial_level=level,
+                max_level=level + 1,
+                cycles=cycles,
+                seed=i,
+                priority=i % 2,
+            )
+        )
+    return specs
+
+
+def _diag_rel_dev(a, b) -> float:
+    """Max relative deviation between two StepDiagnostics records over
+    the physics observables (vrms, Nusselt, mean temperature)."""
+    return max(
+        abs(x - y) / max(abs(y), 1e-30)
+        for x, y in ((a.vrms, b.vrms), (a.nusselt, b.nusselt), (a.mean_T, b.mean_T))
+    )
+
+
+def bench_fleet_throughput(smoke: bool) -> dict:
+    """Aggregate throughput of the batched fleet vs the serial scenario
+    loop over N same-structure scenarios (the PR-8 headline).
+
+    The fleet arm runs first so any process warmup (BLAS thread pools,
+    page cache) favors the *serial* arm, making the reported ratio
+    conservative.  The serial arm is the honest pre-fleet workflow: one
+    mesh extraction, one AMG hierarchy, and one MINRES solve per
+    scenario.  Returns both walls, the throughput ratio (target >= 10x
+    at 64 jobs in full mode), the batched-vs-serial per-job diagnostics
+    deviation, and the mesh-registry sharing counters.
+    """
+    from ..fleet import FleetService
+
+    n_jobs = 6 if smoke else 64
+    cycles = 1 if smoke else 2
+    level = 2
+    specs = _fleet_specs(n_jobs, cycles, level)
+
+    svc = FleetService()
+    for spec in specs:
+        svc.admit(spec)
+    t0 = time.perf_counter()
+    svc.run()
+    fleet_s = time.perf_counter() - t0
+    fleet_last = {j.job_id: j.sim.history[-1] for j in svc.jobs.values()}
+    usage = svc.report()
+
+    t0 = time.perf_counter()
+    serial_last = {}
+    for spec in specs:
+        sim = MantleConvection(spec.to_config(), spec.t_init())
+        sim.run(cycles, adapt=False)
+        serial_last[spec.job_id] = sim.history[-1]
+    serial_s = time.perf_counter() - t0
+
+    dev = max(
+        _diag_rel_dev(fleet_last[jid], serial_last[jid]) for jid in serial_last
+    )
+    return {
+        "n_jobs": n_jobs,
+        "cycles": cycles,
+        "initial_level": level,
+        "serial_s": serial_s,
+        "fleet_s": fleet_s,
+        "throughput_ratio": serial_s / fleet_s,
+        "parity_max_rel_dev": dev,
+        "meshes_built": svc.registry.built,
+        "meshes_shared": svc.registry.shared,
+        "minres_iterations": sum(
+            led["minres_iterations"] for led in usage["jobs"].values()
+        ),
+    }
+
+
+def bench_fleet_preempt(smoke: bool) -> dict:
+    """Budget exhaustion mid-fleet: snapshot every started job, rebuild
+    the fleet from the manifest, finish, and check the resumed per-job
+    diagnostics reproduce the uninterrupted run (deterministic per-cycle
+    solver schedule => the deviation should be exactly zero)."""
+    import shutil
+    import tempfile
+
+    from ..fleet import FleetService
+
+    n_jobs = 3 if smoke else 4
+    cycles = 2 if smoke else 3
+    specs = _fleet_specs(n_jobs, cycles, level=2)
+
+    base = FleetService()
+    for spec in specs:
+        base.admit(spec)
+    base.run()
+    ref = {j.job_id: j.sim.history for j in base.jobs.values()}
+
+    root = tempfile.mkdtemp(prefix="fleet_regress_")
+    try:
+        svc = FleetService(root=root)
+        for spec in specs:
+            svc.admit(spec)
+        svc.arm_budget(1)
+        t0 = time.perf_counter()
+        svc.run()  # one quantum, then preempt-to-checkpoint
+        preempt_s = time.perf_counter() - t0
+        statuses = svc.statuses()
+        t0 = time.perf_counter()
+        resumed = FleetService.resume(root)
+        restore_s = time.perf_counter() - t0
+        resumed.run()
+        dev = 0.0
+        n_compared = 0
+        for jid, history in ref.items():
+            got = resumed.jobs[jid].sim.history
+            for a, b in zip(got, history):
+                dev = max(dev, _diag_rel_dev(a, b))
+                n_compared += 1
+        usage = resumed.accountant.json_report()
+        return {
+            "n_jobs": n_jobs,
+            "cycles": cycles,
+            "preempt_wall_s": preempt_s,
+            "restore_wall_s": restore_s,
+            "statuses_at_preempt": statuses,
+            "resumed_max_rel_dev": dev,
+            "diags_compared": n_compared,
+            "resumed_cycles": sum(
+                led["cycles"] for led in usage["jobs"].values()
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_fleet_suite(smoke: bool = False) -> dict:
+    """Run the multi-tenant fleet suite (batched throughput vs the
+    serial scenario loop, preempt/resume reproducibility) and return the
+    BENCH_fleet payload.
+
+    Example::
+
+        data = run_fleet_suite(smoke=True)
+        assert data["scenarios"]["fleet_throughput"]["parity_max_rel_dev"] < 1e-4
+        assert data["scenarios"]["fleet_preempt"]["resumed_max_rel_dev"] == 0.0
+    """
+    out = {
+        "suite": "PR8 multi-tenant scenario fleet",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    for name, fn in (
+        ("fleet_throughput", bench_fleet_throughput),
+        ("fleet_preempt", bench_fleet_preempt),
+    ):
+        t0 = time.perf_counter()
+        out["scenarios"][name] = fn(smoke)
+        out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+        print(f"[regress] {name}: {json.dumps(out['scenarios'][name])}", flush=True)
+    return out
+
+
 def main(argv=None) -> int:
     """CLI entry point: ``python -m repro.perf.regress --suite <name>``.
 
@@ -974,7 +1164,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=["tentpole", "checkpoint", "matvec", "obs", "amr"],
+        choices=["tentpole", "checkpoint", "matvec", "obs", "amr", "fleet"],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
     )
@@ -1000,6 +1190,8 @@ def main(argv=None) -> int:
         result = run_obs_suite(smoke=args.smoke)
     elif args.suite == "amr":
         result = run_amr_suite(smoke=args.smoke)
+    elif args.suite == "fleet":
+        result = run_fleet_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
@@ -1028,6 +1220,18 @@ def main(argv=None) -> int:
             f"observe overhead {100 * pp['observe_overhead_fraction']:.1f}%, "
             f"disabled hook {do['disabled_ns_per_phase']:.0f} ns/phase; "
             f"trace at {pp['trace_path']}"
+        )
+    elif args.suite == "fleet":
+        ft = result["scenarios"]["fleet_throughput"]
+        fp = result["scenarios"]["fleet_preempt"]
+        print(
+            f"[regress] fleet {ft['n_jobs']} jobs x {ft['cycles']} cycles: "
+            f"{ft['throughput_ratio']:.2f}x over the serial loop "
+            f"(serial {ft['serial_s']:.2f}s -> fleet {ft['fleet_s']:.2f}s), "
+            f"parity dev {ft['parity_max_rel_dev']:.2e}, "
+            f"meshes built {ft['meshes_built']} shared {ft['meshes_shared']}; "
+            f"preempt/resume dev {fp['resumed_max_rel_dev']:.2e} over "
+            f"{fp['diags_compared']} diagnostics"
         )
     elif args.suite == "amr":
         ak = result["scenarios"]["amr_kernels"]

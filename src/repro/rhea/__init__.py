@@ -1,6 +1,6 @@
 """RHEA: the adaptive mantle convection application (Sections II, III, VI)."""
 
-from .convection import MantleConvection, RheaConfig, conductive_profile
+from .convection import ConfigError, MantleConvection, RheaConfig, conductive_profile
 from .diagnostics import (
     depth_profile,
     depth_profiles_table,
@@ -22,6 +22,7 @@ from .viscosity import (
 )
 
 __all__ = [
+    "ConfigError",
     "MantleConvection",
     "RheaConfig",
     "conductive_profile",

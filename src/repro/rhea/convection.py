@@ -33,7 +33,28 @@ from ..solvers import (
 from .error import combined_indicator
 from .viscosity import ArrheniusViscosity, element_temperature, strain_rate_invariant
 
-__all__ = ["RheaConfig", "MantleConvection", "conductive_profile"]
+__all__ = ["ConfigError", "RheaConfig", "MantleConvection", "conductive_profile"]
+
+
+class ConfigError(ValueError):
+    """Structured :class:`RheaConfig` validation failure.
+
+    ``errors`` is a list of ``(field, message)`` pairs — every violated
+    constraint, not just the first — so admission layers (the fleet
+    service) can report all problems with a spec at once.
+    """
+
+    def __init__(self, errors: list):
+        self.errors = list(errors)
+        detail = "; ".join(f"{f}: {m}" for f, m in self.errors)
+        super().__init__(f"invalid RheaConfig: {detail}")
+
+
+def _finite(value) -> bool:
+    try:
+        return bool(np.isfinite(float(value)))
+    except (TypeError, ValueError):
+        return False
 
 
 def conductive_profile(coords: np.ndarray, perturbation: float = 0.05, domain=None) -> np.ndarray:
@@ -102,6 +123,60 @@ class RheaConfig:
     balance_algorithm: str = "recursive"
     face_algorithm: str = "recursive"
 
+    def __post_init__(self):
+        """Validate eagerly so a bad configuration fails at construction
+        with a :class:`ConfigError` naming every violated field — not
+        deep inside a run (fleet admission rejects specs through this)."""
+        errors: list[tuple[str, str]] = []
+
+        def choice(field: str, allowed: tuple):
+            v = getattr(self, field)
+            if v not in allowed:
+                opts = " or ".join(repr(a) for a in allowed)
+                errors.append((field, f"must be {opts}, got {v!r}"))
+
+        def positive(field: str, minimum: float = 0.0, strict: bool = True):
+            v = getattr(self, field)
+            if not _finite(v):
+                errors.append((field, f"must be a finite number, got {v!r}"))
+            elif (float(v) <= minimum) if strict else (float(v) < minimum):
+                op = ">" if strict else ">="
+                errors.append((field, f"must be {op} {minimum:g}, got {v!r}"))
+
+        choice("fem_variant", ("tensor", "matrix"))
+        choice("ghost_algorithm", ("recursive", "search"))
+        choice("balance_algorithm", ("recursive", "search"))
+        choice("face_algorithm", ("recursive", "search"))
+        choice("velocity_bc", ("free_slip", "no_slip"))
+        positive("Ra", strict=False)
+        positive("cfl")
+        positive("kappa", strict=False)
+        positive("picard_tol")
+        positive("stokes_tol")
+        positive("picard_iterations", minimum=1, strict=False)
+        positive("stokes_maxiter", minimum=1, strict=False)
+        positive("adapt_every", minimum=1, strict=False)
+        if not callable(self.viscosity):
+            errors.append(("viscosity", "must be callable (a viscosity law)"))
+        levels = (self.min_level, self.initial_level, self.max_level)
+        if all(isinstance(v, (int, np.integer)) for v in levels):
+            if not 0 <= self.min_level <= self.initial_level <= self.max_level:
+                errors.append((
+                    "min_level",
+                    "need 0 <= min_level <= initial_level <= max_level, "
+                    f"got ({self.min_level}, {self.initial_level}, "
+                    f"{self.max_level})",
+                ))
+        else:
+            errors.append(("initial_level", f"levels must be integers, got {levels!r}"))
+        try:
+            if len(self.domain) != 3 or not all(_finite(d) and float(d) > 0 for d in self.domain):
+                errors.append(("domain", f"must be 3 positive extents, got {self.domain!r}"))
+        except TypeError:
+            errors.append(("domain", f"must be 3 positive extents, got {self.domain!r}"))
+        if errors:
+            raise ConfigError(errors)
+
 
 @dataclass
 class StepDiagnostics:
@@ -126,14 +201,22 @@ class MantleConvection:
         config: RheaConfig | None = None,
         T_init: Callable[[np.ndarray], np.ndarray] | None = None,
         tree: LinearOctree | None = None,
+        mesh: Mesh | None = None,
     ):
         self.config = config or RheaConfig()
         cfg = self.config
-        if tree is None:
-            tree = LinearOctree.uniform(cfg.initial_level)
-        self.mesh: Mesh = extract_mesh(
-            tree, cfg.domain, face_algorithm=cfg.face_algorithm
-        )
+        if mesh is not None:
+            # a pre-built (possibly registry-interned, cross-tenant
+            # shared) mesh: extraction is deterministic, so an identical
+            # structure implies identical node numbering and the shared
+            # operator cache applies verbatim
+            self.mesh = mesh
+        else:
+            if tree is None:
+                tree = LinearOctree.uniform(cfg.initial_level)
+            self.mesh = extract_mesh(
+                tree, cfg.domain, face_algorithm=cfg.face_algorithm
+            )
         t_init = T_init or (lambda c: conductive_profile(c, domain=cfg.domain))
         self._t_init = t_init
         Tn = t_init(self.mesh.node_coords())

@@ -1,0 +1,199 @@
+"""Tests for batched MINRES and lockstep batched-vs-serial parity."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetService, ScenarioSpec, batched_minres
+from repro.fleet.batch import BatchGroup
+from repro.rhea.convection import MantleConvection
+from repro.solvers import minres
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    w = rng.uniform(0.5, 5.0, n)
+    return Q @ np.diag(w) @ Q.T
+
+
+class TestBatchedMinres:
+    def test_matches_serial_per_column(self):
+        """Each column of the batched recurrence is the serial
+        Paige-Saunders recurrence: identical iterations, same solution."""
+        n, nb = 40, 5
+        A = random_spd(n, seed=1)
+        B = np.random.default_rng(2).standard_normal((n, nb))
+        res = batched_minres(A, B, tol=1e-10)
+        assert res.converged.all()
+        for j in range(nb):
+            ser = minres(A, B[:, j], tol=1e-10)
+            assert res.iterations[j] == ser.iterations
+            np.testing.assert_allclose(res.X[:, j], ser.x, atol=1e-9)
+
+    def test_per_column_tolerances(self):
+        n, nb = 40, 4
+        A = random_spd(n, seed=3)
+        B = np.random.default_rng(4).standard_normal((n, nb))
+        tol = np.array([1e-2, 1e-6, 1e-10, 1e-4])
+        res = batched_minres(A, B, tol=tol)
+        assert res.converged.all()
+        # looser columns stop strictly earlier than the tightest one
+        assert res.iterations[0] < res.iterations[2]
+        assert res.iterations[3] < res.iterations[2]
+
+    def test_masked_zero_column_frozen_bitwise(self):
+        """A zero rhs/guess column — the finished-tenant mask — converges
+        at iteration 0 and is never written to."""
+        n, nb = 30, 3
+        A = random_spd(n, seed=5)
+        B = np.random.default_rng(6).standard_normal((n, nb))
+        B[:, 1] = 0.0
+        res = batched_minres(A, B, tol=1e-10)
+        assert res.converged.all()
+        assert res.iterations[1] == 0
+        np.testing.assert_array_equal(res.X[:, 1], 0.0)
+        # the live columns are unperturbed by the masked one
+        for j in (0, 2):
+            np.testing.assert_allclose(
+                res.X[:, j], minres(A, B[:, j], tol=1e-10).x, atol=1e-9
+            )
+
+    def test_warm_start_column_converges_immediately(self):
+        n, nb = 25, 2
+        A = random_spd(n, seed=7)
+        X = np.random.default_rng(8).standard_normal((n, nb))
+        B = A @ X
+        X0 = np.zeros((n, nb))
+        X0[:, 1] = X[:, 1]
+        res = batched_minres(A, B, X0=X0, tol=1e-8)
+        assert res.iterations[1] == 0
+        np.testing.assert_array_equal(res.X[:, 1], X[:, 1])
+
+    def test_compaction_bitwise_identical(self):
+        """The factory/compaction path drops converged columns without
+        changing any surviving column's arithmetic: iteration counts and
+        solutions match the uncompacted recurrence exactly."""
+        n, nb = 50, 8
+        A = random_spd(n, seed=9)
+        B = np.random.default_rng(10).standard_normal((n, nb))
+        # staggered tolerances force several compaction events
+        tol = np.logspace(-3, -11, nb)
+
+        def factory(cols):
+            return (lambda X: A @ X), (lambda R: R)
+
+        plain = batched_minres(A, B.copy(), tol=tol)
+        compact = batched_minres(A, B.copy(), tol=tol, factory=factory)
+        assert compact.converged.all()
+        np.testing.assert_array_equal(plain.iterations, compact.iterations)
+        np.testing.assert_array_equal(plain.X, compact.X)
+        # residual history keeps full width with retired columns frozen
+        assert all(r.shape == (nb,) for r in compact.residuals)
+
+    def test_compaction_with_per_column_operators(self):
+        """Compaction rebuilds operators on surviving global indices."""
+        n, nb = 40, 6
+        A = random_spd(n, seed=11)
+        scale = np.linspace(1.0, 2.0, nb)  # A_j = scale_j * A
+
+        def apply_full(X):
+            return (A @ X) * scale[None, :]
+
+        def factory(cols, scale=scale):
+            sub = scale[cols]
+            return (lambda X: (A @ X) * sub[None, :]), (lambda R: R)
+
+        B = np.random.default_rng(12).standard_normal((n, nb))
+        tol = np.logspace(-4, -10, nb)
+        plain = batched_minres(apply_full, B.copy(), tol=tol)
+        compact = batched_minres(apply_full, B.copy(), tol=tol, factory=factory)
+        np.testing.assert_array_equal(plain.iterations, compact.iterations)
+        np.testing.assert_array_equal(plain.X, compact.X)
+        for j in range(nb):
+            ser = minres(lambda x, j=j: scale[j] * (A @ x), B[:, j], tol=tol[j])
+            np.testing.assert_allclose(compact.X[:, j], ser.x, atol=1e-8)
+
+    def test_indefinite_preconditioner_rejected(self):
+        A = random_spd(10, seed=13)
+        B = np.ones((10, 2))
+        with pytest.raises(ValueError, match="positive definite"):
+            batched_minres(A, B, M=lambda R: -R)
+
+
+def heterogeneous_specs(cycles=2):
+    """Three deliberately different rheologies on one mesh structure."""
+    return [
+        ScenarioSpec(job_id="ra", tenant="t0", Ra=1e4, activation_energy=3.0,
+                     initial_level=2, cycles=cycles, seed=0),
+        ScenarioSpec(job_id="stiff", tenant="t1", Ra=4e4,
+                     activation_energy=6.0, initial_level=2, cycles=cycles,
+                     seed=1),
+        ScenarioSpec(job_id="yld", tenant="t2", Ra=2e4,
+                     viscosity_law="yielding", activation_energy=4.0,
+                     yield_stress=4.0, initial_level=2, cycles=cycles,
+                     seed=2),
+    ]
+
+
+def max_rel_dev(a, b):
+    dev = 0.0
+    for x, y in ((a.vrms, b.vrms), (a.nusselt, b.nusselt),
+                 (a.mean_T, b.mean_T)):
+        dev = max(dev, abs(x - y) / max(abs(y), 1e-30))
+    return dev
+
+
+class TestBatchedSerialParity:
+    def test_heterogeneous_specs_match_serial(self, monkeypatch):
+        """Satellite 2: three heterogeneous tenants batched together
+        reproduce their serial one-job diagnostics to solver tolerance,
+        with the sanitizer verifying the pack/unpack freezes."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        specs = heterogeneous_specs(cycles=2)
+        svc = FleetService()
+        for spec in specs:
+            svc.admit(spec)
+        svc.run()
+        assert set(svc.statuses().values()) == {"done"}
+        for spec in specs:
+            serial = MantleConvection(spec.to_config(), spec.t_init())
+            serial.run(spec.cycles, adapt=False)
+            hist = svc.jobs[spec.job_id].sim.history
+            assert len(hist) == len(serial.history) == spec.cycles
+            for got, ref in zip(hist, serial.history):
+                assert got.step == ref.step
+                assert max_rel_dev(got, ref) < 1e-4
+
+    def test_finished_tenant_drops_out(self, monkeypatch):
+        """A job with a shorter cycle budget retires mid-fleet; its state
+        is frozen (sanitize-verified) and the others are unperturbed."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        short = ScenarioSpec(job_id="short", tenant="t0", Ra=1e4,
+                             activation_energy=3.0, initial_level=2,
+                             cycles=1, seed=0)
+        long = ScenarioSpec(job_id="long", tenant="t1", Ra=2e4,
+                            activation_energy=4.0, initial_level=2,
+                            cycles=3, seed=1)
+        svc = FleetService()
+        svc.admit(short)
+        svc.admit(long)
+        svc.run()
+        assert svc.statuses() == {"short": "done", "long": "done"}
+        done_T = svc.jobs["short"].sim.T.copy()
+        # the retired tenant's diagnostics match its solo run
+        solo = MantleConvection(short.to_config(), short.t_init())
+        solo.run(1, adapt=False)
+        assert max_rel_dev(svc.jobs["short"].sim.history[-1],
+                           solo.history[-1]) < 1e-4
+        # and further fleet quanta never touched it
+        np.testing.assert_array_equal(done_T, svc.jobs["short"].sim.T)
+
+    def test_group_admission_checks(self):
+        specs = heterogeneous_specs(cycles=1)
+        svc = FleetService()
+        sims = [svc.admit(s).sim for s in specs]
+        other = MantleConvection(specs[0].to_config(), specs[0].t_init())
+        with pytest.raises(ValueError, match="interned Mesh object"):
+            BatchGroup(sims + [other])
+        with pytest.raises(ValueError, match="empty batch group"):
+            BatchGroup([])
