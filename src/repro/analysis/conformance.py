@@ -53,6 +53,7 @@ _LOCK = threading.Lock()
 _COMPILED: dict | None = None  # phase name -> (ScheduleNFA, entry qname)
 _TLS = threading.local()
 _ENV_TRIED = False
+_SOURCE = None  # raw JSON document of the installed schedule
 
 
 class ScheduleMismatch(RuntimeError):
@@ -67,6 +68,11 @@ class ScheduleMismatch(RuntimeError):
     def __init__(self, message: str, diff: dict):
         super().__init__(message)
         self.diff = diff
+
+    def __reduce__(self):
+        # args replay alone would drop ``diff`` (needed when the process
+        # SPMD backend ships the exception back to the parent)
+        return (ScheduleMismatch, (self.args[0], self.diff))
 
     def report(self) -> str:
         """Multi-line human-readable rendering of the diff."""
@@ -94,7 +100,7 @@ class ScheduleMismatch(RuntimeError):
 
 def install_schedule(source) -> None:
     """Install a schedule (a JSON document dict, or a path to one)."""
-    global _COMPILED
+    global _COMPILED, _SOURCE
     from .commflow import ScheduleNFA
 
     if isinstance(source, (str, Path)):
@@ -106,13 +112,25 @@ def install_schedule(source) -> None:
         compiled[phase] = (ScheduleNFA.from_tree(entry.get("tree")), entry.get("qname", "?"))
     with _LOCK:
         _COMPILED = compiled
+        _SOURCE = doc
+
+
+def installed_source():
+    """The JSON document of the installed schedule, or None.
+
+    The process SPMD backend re-broadcasts this to worker ranks so a
+    schedule installed in the parent is monitored inside every worker.
+    """
+    with _LOCK:
+        return _SOURCE
 
 
 def uninstall_schedule() -> None:
     """Remove any installed schedule (monitoring becomes a no-op)."""
-    global _COMPILED, _ENV_TRIED
+    global _COMPILED, _ENV_TRIED, _SOURCE
     with _LOCK:
         _COMPILED = None
+        _SOURCE = None
         _ENV_TRIED = True  # do not silently re-load from the environment
 
 

@@ -54,6 +54,17 @@ shared-buffer publication).  They live in
 :mod:`repro.analysis.commflow` and are merged into this CLI's findings,
 suppression, and baseline machinery by the ``--commflow`` flag.
 
+R10 **module-global mutable state read inside an SPMD kernel** — a
+    function taking a comm-like parameter reads a module-level name
+    bound to a mutable value (list/dict/set literal or constructor) or
+    rebound through a ``global`` statement.  Under the threaded backend
+    all ranks share one interpreter and such reads happen to see the
+    caller's writes; under the process backend each worker has its own
+    copy of the module, so the read silently sees stale state (the
+    original ``_fault`` bug: a fault armed in the parent never fired in
+    workers).  State a kernel needs must travel through the world /
+    run envelope.  ALL_CAPS constants and dunders are exempt.
+
 Suppression and baselining
 --------------------------
 ``# lint: disable=R1`` (comma-separated rule ids) on the flagged line
@@ -107,6 +118,7 @@ RULES = {
     "R7": "rank-dependent call chain reaching a collective (interprocedural)",
     "R8": "unpaired or deadlocking point-to-point communication",
     "R9": "in-place mutation of a buffer published to a comm op or shared cache",
+    "R10": "module-global mutable state read inside an SPMD kernel",
 }
 
 #: methods on a communicator that every rank must call collectively
@@ -142,7 +154,9 @@ R3_PACKAGES = ("fem", "solvers", "mangll")
 #: traverse / faces / recursive joined in PR 6 (the recursive forest
 #: algorithms on the AMR hot path are breadth-first vectorized);
 #: batch joined in PR 8 (the fleet's lockstep batched cycle is the
-#: multi-tenant hot path — only annotated O(B) per-job loops allowed)
+#: multi-tenant hot path — only annotated O(B) per-job loops allowed);
+#: procomm joined in PR 9 (the shared-memory transport packs/unpacks
+#: every SPMD payload — per-element loops there tax every rank)
 R4_MODULES = {
     "assembly",
     "amg",
@@ -153,6 +167,7 @@ R4_MODULES = {
     "faces",
     "recursive",
     "batch",
+    "procomm",
 }
 
 #: path fragments where R5 (serialization determinism) is enforced —
@@ -748,6 +763,138 @@ class _FileLinter(ast.NodeVisitor):
 
 
 # --------------------------------------------------------------------------
+# R10: module-global mutable state read inside SPMD kernels
+#
+# A two-pass, module-at-a-time rule (it needs the whole module before it
+# can judge any function), so it runs as its own walk after the
+# single-pass _FileLinter rather than inside it.
+
+#: constructors whose results are mutable containers
+_MUTABLE_CTORS = {
+    "list",
+    "dict",
+    "set",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "bytearray",
+    "OrderedDict",
+}
+
+
+def _mutable_rhs(node: ast.AST) -> bool:
+    """Is this expression a freshly built mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        name = f.id if isinstance(f, ast.Name) else f.attr if isinstance(f, ast.Attribute) else None
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _r10_exempt(name: str) -> bool:
+    # ALL_CAPS module constants are read-only by convention; dunders
+    # (__all__ etc.) are interpreter plumbing
+    return name.upper() == name or (name.startswith("__") and name.endswith("__"))
+
+
+def _module_mutable_globals(tree: ast.Module) -> set[str]:
+    """Module-level names bound to mutable containers, plus any name a
+    function rebinds through a ``global`` statement (the latter is
+    mutable *state* regardless of what value currently sits there —
+    ``_fault`` is ``None`` at module scope but re-armed via ``global``)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _mutable_rhs(stmt.value):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and stmt.value is not None
+            and _mutable_rhs(stmt.value)
+            and isinstance(stmt.target, ast.Name)
+        ):
+            names.add(stmt.target.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return {n for n in names if not _r10_exempt(n)}
+
+
+class _KernelBodyScan(ast.NodeVisitor):
+    """Collect stores and offending loads within one function body,
+    without descending into nested function/class definitions (those are
+    judged on their own merits by the outer walk)."""
+
+    def __init__(self, mutable_globals: set[str]):
+        self.mutable_globals = mutable_globals
+        self.bound: set[str] = set()
+        self.loads: list[ast.Name] = []
+
+    def visit_FunctionDef(self, node) -> None:  # no descent
+        self.bound.add(node.name)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # no descent
+
+    def visit_Global(self, node: ast.Global) -> None:
+        # a `global` declaration means loads refer to module state —
+        # exactly what R10 flags — so deliberately NOT marked as bound
+        pass
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id in self.mutable_globals and node.id not in self.bound:
+                self.loads.append(node)
+        else:  # Store / Del: a local shadows the global from here on
+            self.bound.add(node.id)
+
+
+def _lint_r10(tree: ast.Module, path: str, lines: list[str]) -> list[Finding]:
+    mutable = _module_mutable_globals(tree)
+    if not mutable:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        a = node.args
+        params = [x.arg for x in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+        if not any("comm" in p.lower() for p in params):
+            continue  # not an SPMD kernel
+        scan = _KernelBodyScan(mutable)
+        scan.bound.update(params)
+        if a.vararg:
+            scan.bound.add(a.vararg.arg)
+        if a.kwarg:
+            scan.bound.add(a.kwarg.arg)
+        for stmt in node.body:
+            scan.visit(stmt)
+        for load in scan.loads:
+            line = load.lineno
+            findings.append(
+                Finding(
+                    file=path,
+                    line=line,
+                    col=load.col_offset + 1,
+                    rule="R10",
+                    message=(
+                        f"SPMD kernel '{node.name}' reads module-global mutable "
+                        f"'{load.id}'; process-backend workers see a stale "
+                        "per-process copy — pass it through the world/run envelope"
+                    ),
+                    snippet=lines[line - 1].strip() if 1 <= line <= len(lines) else "",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # suppression + entry points
 
 
@@ -781,7 +928,8 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     lines = source.splitlines()
     linter = _FileLinter(path, lines)
     linter.visit(tree)
-    out = [f for f in linter.findings if not _suppressed(f, lines)]
+    findings = linter.findings + _lint_r10(tree, path, lines)
+    out = [f for f in findings if not _suppressed(f, lines)]
     out.sort(key=lambda f: (f.line, f.col, f.rule))
     return out
 

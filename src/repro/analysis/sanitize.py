@@ -98,6 +98,11 @@ class CollectiveMismatch(RuntimeError):
         super().__init__(message)
         self.report = report or {}
 
+    def __reduce__(self):
+        # preserve ``report`` across pickling (the process SPMD backend
+        # ships worker exceptions back to the parent)
+        return (CollectiveMismatch, (self.args[0], self.report))
+
 
 def _payload_signature(obj: Any) -> str:
     """Coarse dtype/shape-class signature of a collective payload.

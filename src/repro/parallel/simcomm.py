@@ -25,6 +25,16 @@ Use :func:`run_spmd` to execute a rank function on ``P`` simulated ranks::
 
 Exceptions raised by any rank abort the whole world (the barrier is broken
 so no thread hangs) and are re-raised in the caller.
+
+Backends
+--------
+``run_spmd(..., backend="thread")`` (the default) runs thread-per-rank in
+this process; ``backend="process"`` dispatches the same kernel to the
+long-lived worker processes of :mod:`repro.parallel.procomm`, where each
+rank has its own interpreter (real cores, no GIL) and payloads move
+through shared memory.  ``REPRO_SPMD_BACKEND`` overrides the default for
+call sites that do not pass ``backend``.  The kwarg name ``backend`` is
+reserved — rank functions cannot take a keyword argument of that name.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ __all__ = [
     "InjectedFault",
     "arm_fault",
     "disarm_fault",
+    "armed_fault",
     "fault_injection",
     "check_fault",
 ]
@@ -68,10 +79,20 @@ class InjectedFault(RuntimeError):
         self.rank = rank
         self.step = step
 
+    def __reduce__(self):
+        # default exception pickling replays args=(message,) against the
+        # (rank, step) constructor; spell the constructor call out so the
+        # process backend can ship the fault back to the parent
+        return (InjectedFault, (self.rank, self.step))
 
-# One armed fault at a time, process-global: the driver loops poll it via
-# :func:`check_fault`, so a test can kill a chosen rank at a chosen step
-# and exercise the crash/restore path end to end.
+
+# One armed fault at a time, *per interpreter*: the driver loops poll it
+# via :func:`check_fault`, so a test can kill a chosen rank at a chosen
+# step and exercise the crash/restore path end to end.  The module global
+# is only the thread-backend fast path — the process backend re-arms a
+# worker-local copy from :func:`armed_fault` in every run envelope
+# (module state armed in the parent is invisible to worker interpreters)
+# and writes the fired state back through :func:`_mark_fault_fired`.
 _fault_lock = threading.Lock()
 _fault: dict | None = None
 
@@ -89,6 +110,32 @@ def disarm_fault() -> None:
     global _fault
     with _fault_lock:
         _fault = None
+
+
+def armed_fault() -> dict | None:
+    """Snapshot of the currently armed fault spec (or ``None``).
+
+    The process backend broadcasts this snapshot to every worker at
+    world construction so the fault can fire *inside* a worker
+    interpreter, where the parent's module global does not exist.
+    """
+    with _fault_lock:
+        return dict(_fault) if _fault is not None else None
+
+
+def _arm_fault_spec(spec: dict | None) -> None:
+    """Install a fault spec snapshot verbatim (worker-side re-arm)."""
+    global _fault
+    with _fault_lock:
+        _fault = dict(spec) if spec else None
+
+
+def _mark_fault_fired() -> None:
+    """Record that the armed fault fired in a worker process, preserving
+    the fire-at-most-once-per-arming contract across backends."""
+    with _fault_lock:
+        if _fault is not None:
+            _fault["fired"] = True
 
 
 @contextmanager
@@ -109,14 +156,14 @@ def check_fault(comm, step: int) -> None:
     ``comm=None`` means a serial driver (treated as rank 0).  Fires at
     most once per arming.
     """
-    f = _fault
+    f = _fault  # lint: disable=R10 — worker-local copy, re-armed per run envelope
     if f is None:
         return
     rank = comm.rank if comm is not None else 0
     if rank != f["rank"] or step < f["step"]:
         return
     with _fault_lock:
-        if f["fired"] or _fault is not f:
+        if f["fired"] or _fault is not f:  # lint: disable=R10
             return
         f["fired"] = True
     raise InjectedFault(rank, step)
@@ -223,6 +270,33 @@ class SimWorld:
         except threading.BrokenBarrierError:
             raise SpmdAbort("another rank aborted") from None
 
+    # -- point-to-point transport (backend substitution point) -------------
+    #
+    # SimComm delegates message delivery to the world through these two
+    # methods so communicator subclasses (CheckedComm, the fuzzer) stay
+    # transport-agnostic: the threaded world keeps an in-process mail
+    # dict, the process-backend world (procomm.ProcWorld) moves payloads
+    # across interpreters.  Defensive copying stays in SimComm.
+
+    def post(self, src: int, dest: int, tag: int, obj: Any) -> None:
+        """Deliver ``obj`` on channel ``(src, dest, tag)``; never blocks."""
+        with self._mail_lock:
+            self._mail.setdefault((src, dest, tag), deque()).append(obj)
+            self._mail_lock.notify_all()
+
+    def fetch(self, src: int, dest: int, tag: int) -> Any:
+        """Block until a message on ``(src, dest, tag)`` arrives; FIFO
+        per channel.  Raises :class:`SpmdAbort` if the world dies."""
+        key = (src, dest, tag)
+        with self._mail_lock:
+            while True:
+                if self._error is not None:
+                    raise SpmdAbort("another rank aborted")
+                q = self._mail.get(key)
+                if q:
+                    return q.popleft()
+                self._mail_lock.wait(timeout=0.2)
+
 
 class SimComm:
     """MPI-like communicator bound to one simulated rank.
@@ -248,26 +322,15 @@ class SimComm:
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest rank {dest}")
         self.stats.record_p2p(payload_nbytes(obj))
-        w = self._world
-        with w._mail_lock:
-            w._mail.setdefault((self.rank, dest, tag), deque()).append(obj)
-            w._mail_lock.notify_all()
+        self._world.post(self.rank, dest, tag, obj)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Block until a message from ``source`` with ``tag`` arrives."""
-        w = self._world
-        key = (source, self.rank, tag)
-        with w._mail_lock:
-            while True:
-                if w._error is not None:
-                    raise SpmdAbort("another rank aborted")
-                q = w._mail.get(key)
-                if q:
-                    # defensive copy: the sender may still hold (and later
-                    # mutate) the posted object; real MPI hands the receiver
-                    # its own buffer
-                    return _copy_payload(q.popleft())
-                w._mail_lock.wait(timeout=0.2)
+        # defensive copy: the sender may still hold (and later mutate)
+        # the posted object — or, on the process backend, the payload is
+        # a zero-copy view into a shared-memory region about to be
+        # retired; real MPI hands the receiver its own buffer
+        return _copy_payload(self._world.fetch(source, self.rank, tag))
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
@@ -403,7 +466,11 @@ def get_comm_factory() -> Callable[[SimWorld, int], SimComm] | None:
     return _COMM_FACTORY
 
 
-def _build_comms(world: SimWorld) -> list[SimComm]:
+def _resolve_comm_factory() -> Callable[[SimWorld, int], SimComm]:
+    """The communicator factory in effect: an installed factory wins,
+    else ``REPRO_SANITIZE`` substitutes CheckedComm, else plain SimComm.
+    Shared with the process backend, whose workers resolve the factory
+    the same way after applying the run envelope."""
     factory = _COMM_FACTORY
     if factory is None and os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
         # sanitized mode requested via environment: substitute CheckedComm
@@ -411,29 +478,29 @@ def _build_comms(world: SimWorld) -> list[SimComm]:
         from ..analysis.sanitize import CheckedComm
 
         factory = CheckedComm
-    if factory is None:
-        factory = SimComm
+    return SimComm if factory is None else factory
+
+
+def _build_comms(world: SimWorld) -> list[SimComm]:
+    factory = _resolve_comm_factory()
     return [factory(world, r) for r in range(world.nranks)]
 
 
-def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
-    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+def _resolve_backend(backend: str | None) -> str:
+    """Explicit ``backend`` argument, else ``REPRO_SPMD_BACKEND``, else
+    ``"thread"``."""
+    if backend is None:
+        backend = os.environ.get("REPRO_SPMD_BACKEND", "").strip() or "thread"
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"unknown SPMD backend {backend!r} (expected 'thread' or 'process')"
+        )
+    return backend
 
-    Returns the list of per-rank return values in rank order.  If any rank
-    raises, the world is aborted and the first exception is re-raised.
 
-    ``nranks == 1`` runs inline on the calling thread (fast path used
-    heavily by tests).
-    """
-    world = SimWorld(nranks)
-    comms = _build_comms(world)
-    if nranks == 1:
-        try:
-            return [fn(comms[0], *args, **kwargs)]
-        finally:
-            comms[0]._finalize()
-
-    results: list[Any] = [None] * nranks
+def _run_threads(world: SimWorld, comms: list[SimComm], fn, args, kwargs):
+    """Thread-per-rank execution over pre-built communicators."""
+    results: list[Any] = [None] * world.nranks
 
     def runner(r: int) -> None:
         try:
@@ -448,7 +515,7 @@ def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
-        for r in range(nranks)
+        for r in range(world.nranks)
     ]
     for t in threads:
         t.start()
@@ -459,9 +526,46 @@ def run_spmd(nranks: int, fn: Callable, *args, **kwargs) -> list[Any]:
     return results
 
 
-def run_spmd_with_comms(nranks: int, fn: Callable, *args, **kwargs):
+def run_spmd(
+    nranks: int, fn: Callable, *args, backend: str | None = None, **kwargs
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Returns the list of per-rank return values in rank order.  If any rank
+    raises, the world is aborted and the first exception is re-raised.
+
+    ``backend="thread"`` (default) runs thread-per-rank in this process;
+    ``backend="process"`` runs each rank in a long-lived worker process
+    (:mod:`repro.parallel.procomm`) with shared-memory payload transport.
+    ``REPRO_SPMD_BACKEND`` supplies the default when ``backend`` is not
+    passed.  ``nranks == 1`` always runs inline on the calling thread
+    (fast path used heavily by tests; also what MPI does for one rank).
+    """
+    if _resolve_backend(backend) == "process" and nranks > 1:
+        from .procomm import run_spmd_process
+
+        return run_spmd_process(nranks, fn, args, kwargs)[0]
+    world = SimWorld(nranks)
+    comms = _build_comms(world)
+    if nranks == 1:
+        try:
+            return [fn(comms[0], *args, **kwargs)]
+        finally:
+            comms[0]._finalize()
+    return _run_threads(world, comms, fn, args, kwargs)
+
+
+def run_spmd_with_comms(
+    nranks: int, fn: Callable, *args, backend: str | None = None, **kwargs
+):
     """Like :func:`run_spmd` but also returns the communicators (for their
-    post-run ``stats``)."""
+    post-run ``stats``).  On the process backend the returned objects are
+    lightweight proxies carrying each worker's gathered ``stats`` (and any
+    still-bound obs timer results), not live communicators."""
+    if _resolve_backend(backend) == "process" and nranks > 1:
+        from .procomm import run_spmd_process
+
+        return run_spmd_process(nranks, fn, args, kwargs)
     world = SimWorld(nranks)
     comms = _build_comms(world)
     if nranks == 1:
@@ -469,28 +573,5 @@ def run_spmd_with_comms(nranks: int, fn: Callable, *args, **kwargs):
             return [fn(comms[0], *args, **kwargs)], comms
         finally:
             comms[0]._finalize()
-
-    results: list[Any] = [None] * nranks
-
-    def runner(r: int) -> None:
-        try:
-            try:
-                results[r] = fn(comms[r], *args, **kwargs)
-            finally:
-                comms[r]._finalize()
-        except SpmdAbort:
-            pass
-        except BaseException as exc:  # noqa: BLE001
-            world.abort(exc)
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
-        for r in range(nranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    if world._error is not None:
-        raise world._error
+    results = _run_threads(world, comms, fn, args, kwargs)
     return results, comms

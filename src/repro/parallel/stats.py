@@ -122,6 +122,44 @@ class CommStats:
             flops=self.flops,
         )
 
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Pure pairwise merge: a new tally with summed counts.
+
+        Associative and commutative, so parent-side aggregation of
+        worker stats may fold partial merges in any order (the process
+        backend gathers rank stats as replies arrive).  Neither operand
+        is mutated; ``s.merge(s)`` correctly doubles every count.
+        """
+        out = self.snapshot()
+        out += other
+        return out
+
+    def __add__(self, other: "CommStats") -> "CommStats":
+        if not isinstance(other, CommStats):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other):
+        # support sum(list_of_stats) whose seed is the int 0
+        if other == 0:
+            return self.snapshot()
+        return NotImplemented
+
+    def __iadd__(self, other: "CommStats") -> "CommStats":
+        """In-place accumulate ``other`` into this tally (aliasing-safe)."""
+        if not isinstance(other, CommStats):
+            return NotImplemented
+        if other is self:
+            other = other.snapshot()  # freeze before self-mutation
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.flops += other.flops
+        for k, v in list(other.collective_calls.items()):
+            self.collective_calls[k] = self.collective_calls.get(k, 0) + v
+        for k, v in list(other.collective_bytes.items()):
+            self.collective_bytes[k] = self.collective_bytes.get(k, 0) + v
+        return self
+
     def since(self, earlier: "CommStats") -> "CommStats":
         """Return the delta between this tally and an earlier snapshot."""
         calls = {
@@ -147,11 +185,5 @@ def merge_stats(stats: list[CommStats]) -> CommStats:
     """Aggregate per-rank stats into a world total (sums over ranks)."""
     out = CommStats()
     for s in stats:
-        out.p2p_messages += s.p2p_messages
-        out.p2p_bytes += s.p2p_bytes
-        out.flops += s.flops
-        for k, v in s.collective_calls.items():
-            out.collective_calls[k] = out.collective_calls.get(k, 0) + v
-        for k, v in s.collective_bytes.items():
-            out.collective_bytes[k] = out.collective_bytes.get(k, 0) + v
+        out += s
     return out

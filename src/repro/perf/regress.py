@@ -86,6 +86,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
 import numpy as np
@@ -111,6 +112,7 @@ __all__ = [
     "run_obs_suite",
     "run_amr_suite",
     "run_fleet_suite",
+    "run_multiproc_suite",
     "main",
 ]
 
@@ -1155,6 +1157,214 @@ def run_fleet_suite(smoke: bool = False) -> dict:
     return out
 
 
+# --------------------------------------------------------------------------
+# multiproc suite: threaded oracle vs process backend, *real* wall clock
+
+
+def _state_digest(*arrays) -> str:
+    """Order-sensitive bitwise digest of a tuple of arrays."""
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _mp_forest_kernel(comm, level):
+    """Ghost construction + 2:1 balance on a random adaptive tree — the
+    collective-heavy workload (transport cost dominates local flops)."""
+    from ..mesh.parmesh import collect_ghosts
+    from ..octree import balance_tree, gather_tree, new_tree, refine_tree
+
+    pt = new_tree(comm, level)
+    offset = pt.global_offset()
+    total = comm.allreduce(len(pt))
+    rng = np.random.default_rng(11)
+    gmask = rng.random(total) < 0.3
+    pt = refine_tree(pt, gmask[offset : offset + len(pt)])
+    t0 = time.perf_counter()
+    ptb, _added, _rounds = balance_tree(pt, "corner")
+    ghost, owners = collect_ghosts(ptb)
+    wall = time.perf_counter() - t0
+    g = gather_tree(ptb)
+    return {
+        "wall": wall,
+        "digest": _state_digest(g.keys, g.levels, ghost.keys(), owners),
+    }
+
+
+def _mp_minres_kernel(comm, level, tol):
+    """One full matfree MINRES Stokes solve per rank on its own mesh —
+    embarrassingly parallel, so it isolates the GIL-vs-process story."""
+    from ..fem import StokesSystem
+    from ..solvers import StokesBlockPreconditioner, minres
+
+    mesh = _matvec_mesh(level, seed=100 + comm.rank)
+    eta, bf = _matvec_problem(mesh)
+    t0 = time.perf_counter()
+    st = StokesSystem(mesh, eta, bf, bc="free_slip", variant="tensor")
+    prec = StokesBlockPreconditioner(st)
+    res = minres(st.matvec, st.rhs(), M=prec.apply, tol=tol, maxiter=300)
+    wall = time.perf_counter() - t0
+    comm.barrier()
+    return {
+        "wall": wall,
+        "iterations": res.iterations,
+        "digest": _state_digest(np.asarray(res.residuals), res.x),
+    }
+
+
+def _mp_pipeline_kernel(comm, cycles, target, max_level):
+    """One full ParAmrPipeline AMR+solve cycle — the end-to-end workload
+    the acceptance speedup is measured on."""
+    from ..amr import ParAmrPipeline
+    from ..octree import gather_tree
+
+    pipe = ParAmrPipeline(comm, coarse_level=2, max_level=max_level)
+    t0 = time.perf_counter()
+    pipe.run_cycles(cycles, steps_per_cycle=2, target=target)
+    wall = time.perf_counter() - t0
+    g = gather_tree(pipe.pt)
+    return {
+        "wall": wall,
+        "n": pipe.pt.global_count(),
+        "digest": _state_digest(g.keys, g.levels, pipe.T),
+    }
+
+
+def _mp_compare(p, kernel, *args):
+    """Run a kernel on both backends; max-over-ranks wall each, plus a
+    per-rank bitwise comparison of the returned digests."""
+    from ..parallel import run_spmd_with_comms
+
+    out = {}
+    stats = None
+    for backend in ("thread", "process"):
+        results, comms = run_spmd_with_comms(p, kernel, *args, backend=backend)
+        out[f"wall_{backend}_s"] = max(r["wall"] for r in results)
+        out[f"digests_{backend}"] = [r["digest"] for r in results]
+        if backend == "process":
+            stats = comms[0].stats
+    out["bitwise_identical"] = out["digests_thread"] == out["digests_process"]
+    for backend in ("thread", "process"):
+        del out[f"digests_{backend}"]
+    out["speedup"] = out["wall_thread_s"] / out["wall_process_s"]
+    return out, stats
+
+
+def bench_multiproc_kernels(smoke: bool) -> dict:
+    """Forest ghost/balance and per-rank matfree MINRES, threaded vs
+    process backend at one rank count."""
+    p = 2 if smoke else 4
+    level = 2 if smoke else 3
+    out = {"ranks": p, "level": level, "host_cores": os.cpu_count()}
+    forest, _ = _mp_compare(p, _mp_forest_kernel, level)
+    for k, v in forest.items():
+        out[f"forest_{k}"] = v
+    minres_cmp, _ = _mp_compare(p, _mp_minres_kernel, level, 1e-8)
+    for k, v in minres_cmp.items():
+        out[f"minres_{k}"] = v
+    return out
+
+
+def bench_multiproc_pipeline(smoke: bool) -> dict:
+    """The acceptance workload: a full ParAmrPipeline cycle at P in
+    {2, 4, 8}, threaded vs process, with per-rank bitwise identity and a
+    MachineModel anchored at the largest measured process run.
+
+    The >= 3x-at-P=8 acceptance gate presumes an 8-core host;
+    ``host_cores`` records what this run actually had, so a 1-core CI
+    box reports speedup ~1 honestly instead of faking the gate.
+    """
+    from ..parallel import RANGER
+
+    cycles = 1 if smoke else 2
+    target = 250 if smoke else 400
+    max_level = 4
+    ps = [2] if smoke else [2, 4, 8]
+    out = {
+        "cycles": cycles,
+        "target": target,
+        "host_cores": os.cpu_count(),
+        "by_ranks": {},
+    }
+    anchor_stats = None
+    for p in ps:
+        cmp_out, stats = _mp_compare(
+            p, _mp_pipeline_kernel, cycles, target, max_level
+        )
+        out["by_ranks"][str(p)] = cmp_out
+        anchor_stats, anchor_p = stats, p
+    # anchor the extrapolation model at the largest measured process run
+    # (rank 0's tally, the same convention t_total prices)
+    measured = out["by_ranks"][str(anchor_p)]["wall_process_s"]
+    anchored = RANGER.anchored_to(anchor_stats, anchor_p, measured)
+    out["anchor"] = {
+        "ranks": anchor_p,
+        "measured_s": measured,
+        "modeled_unanchored_s": RANGER.t_total(anchor_stats, anchor_p),
+        "speed_factor": RANGER.flop_rate / anchored.flop_rate,
+        "model_name": anchored.name,
+        "modeled_62464_s": anchored.t_total(anchor_stats, 62464),
+    }
+    pmax = str(max(int(k) for k in out["by_ranks"]))
+    out["speedup_at_pmax"] = out["by_ranks"][pmax]["speedup"]
+    out["all_bitwise_identical"] = all(
+        v["bitwise_identical"] for v in out["by_ranks"].values()
+    )
+    return out
+
+
+def run_multiproc_suite(smoke: bool = False) -> dict:
+    """Run the process-backend suite (threaded oracle vs multiprocess
+    shared-memory ranks) and return the BENCH_multiproc payload.
+
+    Runs under ``REPRO_SANITIZE=1`` (forced for the comparison) so the
+    bitwise-identity flags certify the process backend against the
+    threaded oracle with CheckedComm live on both.
+
+    Example::
+
+        data = run_multiproc_suite(smoke=True)
+        assert data["scenarios"]["multiproc_pipeline"]["all_bitwise_identical"]
+    """
+    from ..parallel import procomm
+
+    out = {
+        "suite": "PR9 multiprocess shared-memory backend",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host_cores": os.cpu_count(),
+        "shm_available": procomm.available(),
+        "scenarios": {},
+    }
+    if not procomm.available():
+        print("[regress] POSIX shared memory unavailable; multiproc suite skipped")
+        return out
+    prev = os.environ.get("REPRO_SANITIZE")
+    os.environ["REPRO_SANITIZE"] = "1"
+    try:
+        for name, fn in (
+            ("multiproc_kernels", bench_multiproc_kernels),
+            ("multiproc_pipeline", bench_multiproc_pipeline),
+        ):
+            t0 = time.perf_counter()
+            out["scenarios"][name] = fn(smoke)
+            out["scenarios"][name]["scenario_wall_s"] = time.perf_counter() - t0
+            print(f"[regress] {name}: {json.dumps(out['scenarios'][name])}", flush=True)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SANITIZE", None)
+        else:
+            os.environ["REPRO_SANITIZE"] = prev
+        procomm.shutdown_pools()
+    return out
+
+
 def main(argv=None) -> int:
     """CLI entry point: ``python -m repro.perf.regress --suite <name>``.
 
@@ -1164,7 +1374,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=["tentpole", "checkpoint", "matvec", "obs", "amr", "fleet"],
+        choices=[
+            "tentpole", "checkpoint", "matvec", "obs", "amr", "fleet",
+            "multiproc",
+        ],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
     )
@@ -1192,6 +1405,8 @@ def main(argv=None) -> int:
         result = run_amr_suite(smoke=args.smoke)
     elif args.suite == "fleet":
         result = run_fleet_suite(smoke=args.smoke)
+    elif args.suite == "multiproc":
+        result = run_multiproc_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
@@ -1250,6 +1465,27 @@ def main(argv=None) -> int:
             f"{100 * pl['amr_fraction_search']:.1f}% -> "
             f"{100 * pl['amr_fraction_recursive']:.1f}%"
         )
+    elif args.suite == "multiproc":
+        if result["scenarios"]:
+            mk = result["scenarios"]["multiproc_kernels"]
+            mp_ = result["scenarios"]["multiproc_pipeline"]
+            per_p = ", ".join(
+                f"P={p}: {v['speedup']:.2f}x"
+                f"{'' if v['bitwise_identical'] else ' (NOT bitwise!)'}"
+                for p, v in sorted(
+                    mp_["by_ranks"].items(), key=lambda kv: int(kv[0])
+                )
+            )
+            print(
+                f"[regress] multiproc on {mp_['host_cores']}-core host — "
+                f"pipeline process-over-thread {per_p}; "
+                f"minres {mk['minres_speedup']:.2f}x, "
+                f"forest {mk['forest_speedup']:.2f}x; "
+                f"bitwise={mp_['all_bitwise_identical']}; "
+                f"anchored {mp_['anchor']['model_name']} "
+                f"speed factor {mp_['anchor']['speed_factor']:.2f} "
+                f"(modeled@62464 {mp_['anchor']['modeled_62464_s']:.3g}s)"
+            )
     else:
         co = result["scenarios"]["checkpoint_overhead"]
         print(

@@ -817,3 +817,144 @@ class TestGithubFormat:
         (fem / "ok.py").write_text("x = 1\n")
         assert main([str(fem), "--no-baseline", "--format=github"]) == 0
         assert "::error" not in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------
+# R10: module-global mutable state inside SPMD kernels
+
+
+class TestR10TruePositives:
+    def test_read_of_module_dict_in_kernel(self):
+        src = """
+        _registry = {}
+
+        def kernel(comm, x):
+            return _registry.get(comm.rank)
+        """
+        assert rules(src) == ["R10"]
+
+    def test_global_declared_none_still_flagged(self):
+        # the seeded bug: `_fault` is None at module scope but rebound
+        # through `global` — reading it in a kernel is still stale-prone
+        src = """
+        _fault = None
+
+        def arm(rank):
+            global _fault
+            _fault = {"rank": rank}
+
+        def kernel(comm):
+            if _fault is not None:
+                raise RuntimeError
+        """
+        assert rules(src) == ["R10"]
+
+    def test_global_statement_inside_kernel_does_not_launder(self):
+        src = """
+        _state = None
+
+        def setup():
+            global _state
+            _state = {}
+
+        def kernel(comm):
+            global _state
+            return _state
+        """
+        assert rules(src) == ["R10"]
+
+    def test_mutable_ctor_call_counts(self):
+        src = """
+        import collections
+        _cache = collections.OrderedDict()
+
+        def kernel(my_comm):
+            return len(_cache)
+        """
+        assert rules(src) == ["R10"]
+
+    def test_comm_like_param_anywhere(self):
+        src = """
+        _seen = []
+
+        def kernel(a, b, *, checked_comm):
+            _seen.append(a)
+        """
+        assert rules(src) == ["R10"]
+
+    def test_finding_names_kernel_and_global(self):
+        src = """
+        _slots = []
+
+        def exchange(comm):
+            return _slots[comm.rank]
+        """
+        (f,) = findings(src)
+        assert f.rule == "R10"
+        assert "'exchange'" in f.message and "'_slots'" in f.message
+
+
+class TestR10FalsePositives:
+    def test_all_caps_constant_exempt(self):
+        src = """
+        TABLE = {"a": 1}
+
+        def kernel(comm):
+            return TABLE["a"]
+        """
+        assert rules(src) == []
+
+    def test_function_without_comm_param_ignored(self):
+        src = """
+        _registry = {}
+
+        def helper(x):
+            return _registry.get(x)
+        """
+        assert rules(src) == []
+
+    def test_local_shadow_not_flagged(self):
+        src = """
+        _buf = []
+
+        def kernel(comm):
+            _buf = [comm.rank]
+            return _buf
+        """
+        assert rules(src) == []
+
+    def test_immutable_global_not_flagged(self):
+        src = """
+        _tag = 7
+
+        def kernel(comm):
+            return _tag
+        """
+        assert rules(src) == []
+
+    def test_nested_helper_judged_separately(self):
+        # the nested def has no comm param; the outer kernel never reads
+        # the global itself
+        src = """
+        _registry = {}
+
+        def kernel(comm):
+            def fmt(x):
+                return x
+            return fmt(comm.rank)
+        """
+        assert rules(src) == []
+
+    def test_disable_comment(self):
+        src = """
+        _fault = None
+
+        def arm():
+            global _fault
+            _fault = {}
+
+        def kernel(comm):
+            f = _fault  # lint: disable=R10
+            return f
+        """
+        assert rules(src) == []

@@ -157,3 +157,80 @@ class TestCommStatsMerging:
         b = CommStats()
         b.add_flops(50)
         assert merge_stats([a, b]).flops == pytest.approx(150.0)
+
+
+class TestPairwiseMerge:
+    """Out-of-order partial merges (the process backend folds worker
+    stats as replies arrive) must neither reorder-sensitively differ nor
+    double-count."""
+
+    def _stats(self, msgs, nbytes, coll):
+        s = CommStats()
+        for _ in range(msgs):
+            s.record_p2p(nbytes)
+        for name, (calls, b) in coll.items():
+            for _ in range(calls):
+                s.record_collective(name, b)
+        return s
+
+    def _key(self, s):
+        return (
+            s.p2p_messages,
+            s.p2p_bytes,
+            dict(s.collective_calls),
+            dict(s.collective_bytes),
+            s.flops,
+        )
+
+    def test_merge_is_pure(self):
+        a = self._stats(2, 10, {"allreduce": (3, 8)})
+        b = self._stats(1, 5, {"allgather": (2, 16)})
+        ka, kb = self._key(a), self._key(b)
+        m = a.merge(b)
+        assert self._key(a) == ka and self._key(b) == kb  # operands intact
+        assert m.p2p_messages == 3
+        assert m.collective_calls == {"allreduce": 3, "allgather": 2}
+
+    def test_commutative(self):
+        a = self._stats(2, 10, {"allreduce": (3, 8)})
+        b = self._stats(1, 5, {"allreduce": (1, 4), "barrier": (2, 0)})
+        assert self._key(a.merge(b)) == self._key(b.merge(a))
+
+    def test_associative_any_fold_order(self):
+        parts = [
+            self._stats(1, 8, {"allreduce": (1, 8)}),
+            self._stats(2, 4, {"allgather": (2, 16)}),
+            self._stats(0, 0, {"barrier": (3, 0)}),
+        ]
+        left = parts[0].merge(parts[1]).merge(parts[2])
+        right = parts[0].merge(parts[1].merge(parts[2]))
+        swapped = parts[2].merge(parts[0]).merge(parts[1])
+        assert self._key(left) == self._key(right) == self._key(swapped)
+        assert self._key(left) == self._key(merge_stats(parts))
+
+    def test_iadd_accumulates_in_place(self):
+        acc = CommStats()
+        acc += self._stats(1, 8, {"allreduce": (1, 8)})
+        acc += self._stats(2, 4, {"allreduce": (1, 8)})
+        assert acc.p2p_messages == 3
+        assert acc.collective_calls == {"allreduce": 2}
+        assert acc.collective_bytes == {"allreduce": 16}
+
+    def test_self_merge_doubles_without_runaway(self):
+        # the aliasing trap: s += s must exactly double, not loop or
+        # double-count through the shared dicts
+        s = self._stats(2, 10, {"allreduce": (3, 8), "barrier": (1, 0)})
+        s += s
+        assert s.p2p_messages == 4
+        assert s.p2p_bytes == 40
+        assert s.collective_calls == {"allreduce": 6, "barrier": 2}
+        assert s.collective_bytes == {"allreduce": 48, "barrier": 0}
+        m = s.merge(s)
+        assert m.collective_calls == {"allreduce": 12, "barrier": 4}
+
+    def test_add_and_sum_builtin(self):
+        a = self._stats(1, 8, {"allreduce": (1, 8)})
+        b = self._stats(1, 2, {"barrier": (1, 0)})
+        total = sum([a, b])  # __radd__ seeds from int 0
+        assert self._key(total) == self._key(a.merge(b))
+        assert self._key(a + b) == self._key(a.merge(b))
