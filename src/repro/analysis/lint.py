@@ -160,6 +160,7 @@ R3_PACKAGES = ("fem", "solvers", "mangll")
 R4_MODULES = {
     "assembly",
     "amg",
+    "gmg",
     "dg",
     "transfer",
     "matfree",
@@ -178,7 +179,7 @@ R5_PACKAGES = ("checkpoint",)
 #: user-facing instrumentation packages whose reference docs *are* the
 #: docstrings (see OBSERVABILITY.md); fleet joined in PR 8 (the
 #: multi-tenant service API is user-facing)
-R6_PACKAGES = ("obs", "perf", "checkpoint", "fleet")
+R6_PACKAGES = ("obs", "perf", "checkpoint", "fleet", "solvers")
 
 #: dict-view methods whose iteration order is insertion order
 DICT_VIEW_METHODS = {"items", "keys", "values"}

@@ -14,7 +14,9 @@ from .assembly import (
     assemble_rhs,
     assemble_scalar,
     assemble_vector,
+    assembly_counts,
     lumped_mass,
+    reset_assembly_counts,
     vector_dofs,
 )
 from .hexops import ElementOps
@@ -31,6 +33,8 @@ __all__ = [
     "apply_dirichlet",
     "Z3",
     "vector_dofs",
+    "assembly_counts",
+    "reset_assembly_counts",
     "AdvectionDiffusion",
     "element_velocity_from_nodal",
     "supg_tau",

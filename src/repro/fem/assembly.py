@@ -35,7 +35,25 @@ __all__ = [
     "apply_dirichlet",
     "Z3",
     "vector_dofs",
+    "assembly_counts",
+    "reset_assembly_counts",
 ]
+
+#: global sparse-assembly call counters, keyed by operator kind.  The
+#: matrix-free paths (tensor applies, GMG preconditioning) are certified
+#: assembly-free by resetting these and asserting they stay zero.
+_ASSEMBLY_COUNTS = {"scalar": 0, "vector": 0, "divergence": 0}
+
+
+def assembly_counts() -> dict:
+    """Snapshot of the global sparse-assembly call counters."""
+    return dict(_ASSEMBLY_COUNTS)
+
+
+def reset_assembly_counts() -> None:
+    """Zero the global sparse-assembly call counters."""
+    for k in _ASSEMBLY_COUNTS:
+        _ASSEMBLY_COUNTS[k] = 0
 
 
 def _scalar_scatter(mesh: Mesh) -> CachedScatter:
@@ -93,6 +111,7 @@ def assemble_scalar(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -
     """
     if elem_mats.shape != (mesh.n_elements, 8, 8):
         raise ValueError("element matrix array has wrong shape")
+    _ASSEMBLY_COUNTS["scalar"] += 1
     A = _scalar_scatter(mesh).assemble(elem_mats)
     if not constrain:
         return A
@@ -114,6 +133,7 @@ def assemble_vector(mesh: Mesh, elem_mats: np.ndarray, constrain: bool = True) -
     """
     if elem_mats.shape != (mesh.n_elements, 24, 24):
         raise ValueError("element matrix array has wrong shape")
+    _ASSEMBLY_COUNTS["vector"] += 1
     A = _vector_scatter(mesh).assemble(elem_mats)
     if not constrain:
         return A
@@ -126,6 +146,7 @@ def assemble_divergence(mesh: Mesh, elem_B: np.ndarray, constrain: bool = True) 
     (n_p, 3 n_u) divergence operator."""
     if elem_B.shape != (mesh.n_elements, 8, 24):
         raise ValueError("element matrix array has wrong shape")
+    _ASSEMBLY_COUNTS["divergence"] += 1
     B = _divergence_scatter(mesh).assemble(elem_B)
     if not constrain:
         return B

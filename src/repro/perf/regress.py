@@ -1365,6 +1365,119 @@ def run_multiproc_suite(smoke: bool = False) -> dict:
     return out
 
 
+# --------------------------------------------------------------------------
+# PR10: geometric vs algebraic multigrid preconditioning
+
+
+def _gmg_problem(mesh, contrast: float):
+    """Gaussian viscosity blob with a controlled max/min contrast."""
+    c = mesh.element_centers()
+    r2 = ((c - 0.5) ** 2).sum(axis=1)
+    eta = np.exp(np.log(contrast) * np.exp(-r2 / 0.08))
+    x = mesh.node_coords()
+    bf = np.zeros((mesh.n_nodes, 3))
+    bf[:, 2] = np.sin(np.pi * x[:, 0]) * np.cos(np.pi * x[:, 2])
+    return eta, bf
+
+
+def bench_gmg_vs_amg(smoke: bool) -> dict:
+    """The PR-10 gated comparison: GMG vs AMG block preconditioning of
+    the same MINRES Stokes solve across a viscosity-contrast sweep.
+
+    Every (contrast, kind) cell gets a *fresh* mesh of identical
+    structure, so both arms pay cold setup: AMG assembles the three
+    scalar Poisson blocks and runs smoothed aggregation, GMG coarsens the
+    forest and builds matrix-free level operators.  Gates: GMG iterations
+    within 1.5x of AMG at every contrast, cold GMG setup >= 5x faster,
+    and zero sparse assembly on the GMG arm (counted, not assumed).
+    """
+    from ..fem import StokesSystem, assembly_counts, reset_assembly_counts
+    from ..solvers import (
+        GMGStokesPreconditioner,
+        StokesBlockPreconditioner,
+        minres,
+    )
+
+    level = 2 if smoke else 4
+    tol = 1e-8
+    maxiter = 200 if smoke else 600
+    contrasts = [1e2] if smoke else [1e2, 1e4, 1e6]
+    reps = 1 if smoke else 3
+    sweep = []
+    for contrast in contrasts:
+        row = {"contrast": contrast}
+        for kind in ("amg", "gmg"):
+            setups, solves = [], []
+            for _ in range(reps):  # min-of-reps: cold setup timing is noisy
+                mesh = _matvec_mesh(level)  # fresh per rep: cold opcache
+                eta, bf = _gmg_problem(mesh, contrast)
+                t0 = time.perf_counter()
+                st = StokesSystem(mesh, eta, bf, bc="free_slip", variant="tensor")
+                system = time.perf_counter() - t0
+                # count and time the preconditioner build in isolation:
+                # the system construction (identical on both arms,
+                # includes the one-off body-force mass assembly) is
+                # reported separately
+                reset_assembly_counts()
+                t0 = time.perf_counter()
+                if kind == "gmg":
+                    prec = GMGStokesPreconditioner(st)
+                else:
+                    prec = StokesBlockPreconditioner(st)
+                setups.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                res = minres(
+                    st.matvec, st.rhs(), M=prec.apply, tol=tol, maxiter=maxiter
+                )
+                solves.append(time.perf_counter() - t0)
+                counts = assembly_counts()
+            row[kind] = {
+                "system_s": system,
+                "setup_s": min(setups),
+                "solve_s": min(solves),
+                "iterations": res.iterations,
+                "converged": bool(res.converged),
+                "operator_complexity": float(prec.operator_complexity),
+                "assembly_counts": counts,
+            }
+            if kind == "gmg":
+                row["gmg"]["grid_sizes"] = prec.grid_sizes()
+        row["iter_ratio"] = row["gmg"]["iterations"] / row["amg"]["iterations"]
+        row["setup_speedup"] = row["amg"]["setup_s"] / row["gmg"]["setup_s"]
+        row["gmg_zero_assembly"] = not any(
+            row["gmg"]["assembly_counts"].values()
+        )
+        sweep.append(row)
+    return {
+        "level": level,
+        "tol": tol,
+        "contrasts": contrasts,
+        "sweep": sweep,
+        "max_iter_ratio": max(r["iter_ratio"] for r in sweep),
+        "min_setup_speedup": min(r["setup_speedup"] for r in sweep),
+        "all_gmg_zero_assembly": all(r["gmg_zero_assembly"] for r in sweep),
+    }
+
+
+def run_gmg_suite(smoke: bool = False) -> dict:
+    """Run the GMG-vs-AMG preconditioner suite and return the BENCH_gmg
+    payload."""
+    out = {
+        "suite": "PR10 geometric multigrid preconditioner",
+        "smoke": smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    t0 = time.perf_counter()
+    out["scenarios"]["gmg_vs_amg"] = bench_gmg_vs_amg(smoke)
+    out["scenarios"]["gmg_vs_amg"]["scenario_wall_s"] = time.perf_counter() - t0
+    print(
+        f"[regress] gmg_vs_amg: {json.dumps(out['scenarios']['gmg_vs_amg'])}",
+        flush=True,
+    )
+    return out
+
+
 def main(argv=None) -> int:
     """CLI entry point: ``python -m repro.perf.regress --suite <name>``.
 
@@ -1376,7 +1489,7 @@ def main(argv=None) -> int:
         "--suite",
         choices=[
             "tentpole", "checkpoint", "matvec", "obs", "amr", "fleet",
-            "multiproc",
+            "multiproc", "gmg",
         ],
         default="tentpole",
         help="which scenario suite to run (default tentpole)",
@@ -1407,6 +1520,8 @@ def main(argv=None) -> int:
         result = run_fleet_suite(smoke=args.smoke)
     elif args.suite == "multiproc":
         result = run_multiproc_suite(smoke=args.smoke)
+    elif args.suite == "gmg":
+        result = run_gmg_suite(smoke=args.smoke)
     else:
         result = run_suite(smoke=args.smoke)
     with open(args.out, "w") as f:
@@ -1464,6 +1579,19 @@ def main(argv=None) -> int:
             f"pipeline {pl['pipeline_speedup']:.2f}x, AMR fraction "
             f"{100 * pl['amr_fraction_search']:.1f}% -> "
             f"{100 * pl['amr_fraction_recursive']:.1f}%"
+        )
+    elif args.suite == "gmg":
+        gv = result["scenarios"]["gmg_vs_amg"]
+        per_c = ", ".join(
+            f"{r['contrast']:g}: {r['gmg']['iterations']}/{r['amg']['iterations']} it "
+            f"(setup {r['setup_speedup']:.1f}x)"
+            for r in gv["sweep"]
+        )
+        print(
+            f"[regress] gmg-vs-amg at contrasts {per_c}; "
+            f"max iter ratio {gv['max_iter_ratio']:.2f}, "
+            f"min setup speedup {gv['min_setup_speedup']:.1f}x, "
+            f"zero-assembly={gv['all_gmg_zero_assembly']}"
         )
     elif args.suite == "multiproc":
         if result["scenarios"]:

@@ -26,6 +26,7 @@ from ..mesh import Mesh, extract_mesh
 from ..mesh.opcache import cache_disabled, operator_cache
 from ..octree import LinearOctree
 from ..solvers import (
+    GMGStokesPreconditioner,
     LaggedStokesPreconditioner,
     StokesBlockPreconditioner,
     minres,
@@ -99,11 +100,16 @@ class RheaConfig:
     #: between Picard passes and time steps; value-transparent, so results
     #: are bitwise identical with caching off
     cache_operators: bool = True
-    #: lagged AMG setup: reuse the preconditioner hierarchy until the
-    #: element viscosity drifts past this relative threshold.  ``None``
-    #: rebuilds on every Picard pass (the pre-amortization behavior);
-    #: ``0.0`` reuses only for bitwise-unchanged viscosity.
+    #: lagged multigrid setup: reuse the preconditioner hierarchy until
+    #: the element viscosity drifts past this relative threshold.
+    #: ``None`` rebuilds on every Picard pass (the pre-amortization
+    #: behavior); ``0.0`` reuses only for bitwise-unchanged viscosity.
     prec_lag_rtol: float | None = 0.3
+    #: viscous-block preconditioner: ``"amg"`` (assembled smoothed-
+    #: aggregation hierarchy, the paper's BoomerAMG analogue) or
+    #: ``"gmg"`` (matrix-free geometric multigrid on the octree
+    #: coarsening hierarchy — zero sparse assembly; see SOLVERS.md)
+    stokes_preconditioner: str = "amg"
     #: warm-start MINRES from the previous velocity/pressure solution
     warm_start: bool = True
     #: element-apply kernel for the MINRES and SUPG hot loops:
@@ -144,6 +150,7 @@ class RheaConfig:
                 errors.append((field, f"must be {op} {minimum:g}, got {v!r}"))
 
         choice("fem_variant", ("tensor", "matrix"))
+        choice("stokes_preconditioner", ("amg", "gmg"))
         choice("ghost_algorithm", ("recursive", "search"))
         choice("balance_algorithm", ("recursive", "search"))
         choice("face_algorithm", ("recursive", "search"))
@@ -230,7 +237,9 @@ class MantleConvection:
         self._last_minres = 0
         self._last_picard = 0
         self._prec_lag = (
-            LaggedStokesPreconditioner(rtol=cfg.prec_lag_rtol)
+            LaggedStokesPreconditioner(
+                rtol=cfg.prec_lag_rtol, kind=cfg.stokes_preconditioner
+            )
             if cfg.prec_lag_rtol is not None
             else None
         )
@@ -305,6 +314,8 @@ class MantleConvection:
             )
             if self._prec_lag is not None:
                 prec = self._prec_lag.get(st)
+            elif cfg.stokes_preconditioner == "gmg":
+                prec = GMGStokesPreconditioner(st)
             else:
                 prec = StokesBlockPreconditioner(st)
             x0 = self._warm_start(st) if cfg.warm_start else None

@@ -1,5 +1,11 @@
 """Linear and time-stepping solvers: MINRES, smoothed-aggregation AMG,
-the block-diagonal Stokes preconditioner, and explicit integrators."""
+matrix-free geometric multigrid on the forest hierarchy, the
+block-diagonal Stokes preconditioners, and explicit integrators.
+
+See SOLVERS.md at the repository root for the full Stokes solve path
+(MINRES -> block preconditioner -> AMG vs GMG), the lagging and
+warm-start policies, and the tuning cookbook.
+"""
 
 from .amg import (
     AMGLevel,
@@ -12,6 +18,16 @@ from .amg import (
 )
 from .blockprec import LaggedStokesPreconditioner, StokesBlockPreconditioner
 from .cg import CGResult, cg
+from .gmg import (
+    ChebyshevSmoother,
+    GeometricMultigrid,
+    GMGStokesPreconditioner,
+    GridHierarchy,
+    MatFreeScalarPoisson,
+    coarse_viscosities,
+    mesh_hierarchy,
+    prolongation,
+)
 from .minres import MinresResult, minres
 from .timestep import LowStorageRK45, heun_step
 
@@ -25,6 +41,14 @@ __all__ = [
     "strength_graph",
     "StokesBlockPreconditioner",
     "LaggedStokesPreconditioner",
+    "GMGStokesPreconditioner",
+    "GeometricMultigrid",
+    "GridHierarchy",
+    "MatFreeScalarPoisson",
+    "ChebyshevSmoother",
+    "mesh_hierarchy",
+    "coarse_viscosities",
+    "prolongation",
     "cg",
     "CGResult",
     "minres",

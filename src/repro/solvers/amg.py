@@ -246,6 +246,10 @@ def _estimate_rho(DinvA: sp.csr_matrix, iters: int = 12, seed: int = 0) -> float
 
 @dataclass
 class AMGLevel:
+    """One grid level of the AMG hierarchy: the (Galerkin-coarsened)
+    operator, the prolongator from this level to the next finer one, and
+    the precomputed Gauss-Seidel triangular factors."""
+
     A: sp.csr_matrix
     P: sp.csr_matrix | None  # prolongator to this level's fine grid (None on finest)
     L: sp.csr_matrix | None = None  # lower triangle incl. diag (GS)
@@ -339,6 +343,7 @@ class SmoothedAggregationAMG:
 
     @property
     def n_levels(self) -> int:
+        """Number of grid levels (including the dense coarsest one)."""
         return len(self.levels)
 
     @property
@@ -348,6 +353,7 @@ class SmoothedAggregationAMG:
         return sum(l.A.nnz for l in self.levels) / max(fine, 1)
 
     def grid_sizes(self) -> list[int]:
+        """Unknown count per level, finest first."""
         return [l.A.shape[0] for l in self.levels]
 
     # -- cycle ------------------------------------------------------------------

@@ -2,15 +2,22 @@
 
     P = diag(Atilde, Stilde)
 
-``Atilde``: for each velocity component, one AMG V-cycle on the scalar
-variable-viscosity Poisson operator (the vector-Laplacian approximation of
-the viscous block).  ``Stilde``: the inverse of the inverse-viscosity-
-weighted lumped pressure mass (diagonal, spectrally equivalent to the
-Schur complement ``B A^{-1} B^T + C``).
+``Atilde``: for each velocity component, one multigrid V-cycle on the
+scalar variable-viscosity Poisson operator (the vector-Laplacian
+approximation of the viscous block) — either algebraic
+(:class:`StokesBlockPreconditioner`, the paper's BoomerAMG analogue) or
+matrix-free geometric on the forest hierarchy
+(:class:`repro.solvers.gmg.GMGStokesPreconditioner`).  ``Stilde``: the
+inverse of the inverse-viscosity-weighted lumped pressure mass
+(diagonal, spectrally equivalent to the Schur complement
+``B A^{-1} B^T + C``).
 
-The application is SPD, captures both the element-size and the viscosity
-variation, and keeps the MINRES iteration count essentially independent of
-problem size — the Figure-2 result.
+Either application is SPD, captures both the element-size and the
+viscosity variation, and keeps the MINRES iteration count essentially
+independent of problem size — the Figure-2 result.  Setup amortization
+across Picard passes and time steps (the paper's reuse of one AMG setup
+between mesh adaptations) is handled by
+:class:`LaggedStokesPreconditioner`, which wraps either kind.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import numpy as np
 
 from .. import obs
 from .amg import SmoothedAggregationAMG
+from .gmg import GMGStokesPreconditioner
 
 if TYPE_CHECKING:  # import is type-only: fem.stokes imports solvers-adjacent
     # modules through mangll, and a runtime import here would close that
@@ -76,11 +84,16 @@ class StokesBlockPreconditioner:
 
     @property
     def operator_complexity(self) -> float:
+        """Mean AMG operator complexity (total nnz over all levels /
+        fine nnz) across the three component hierarchies."""
         return float(np.mean([a.operator_complexity for a in self.amg]))
 
 
 class LaggedStokesPreconditioner:
-    """Setup-amortizing wrapper around :class:`StokesBlockPreconditioner`.
+    """Setup-amortizing wrapper around either multigrid block
+    preconditioner (``kind="amg"`` — :class:`StokesBlockPreconditioner` —
+    or ``kind="gmg"`` —
+    :class:`repro.solvers.gmg.GMGStokesPreconditioner`).
 
     The paper reuses one AMG setup across the ~16 time steps between mesh
     adaptations (Figures 8-9); this wrapper implements that policy for the
@@ -91,21 +104,29 @@ class LaggedStokesPreconditioner:
       max-norm since the hierarchy was last built.
 
     The diagonal Schur block is refreshed on every call (it is cheap and
-    viscosity-dependent), so only the expensive AMG setup is lagged.
-    ``rtol = 0`` reuses the hierarchy only for a bitwise-unchanged
-    viscosity, which leaves solver results bitwise identical to
-    rebuild-every-pass.
+    viscosity-dependent), so only the expensive hierarchy setup is
+    lagged.  ``rtol = 0`` reuses the hierarchy only for a
+    bitwise-unchanged viscosity, which leaves solver results bitwise
+    identical to rebuild-every-pass.  A GMG rebuild is cheap either way —
+    the mesh-derived structure is cached per mesh, so rebuilding on the
+    same mesh only re-weights coefficients — but lagging still skips the
+    smoother-bound re-estimates and coarse factorizations.
     """
 
-    def __init__(self, rtol: float = 0.5, theta: float = 0.08, **amg_opts):
+    def __init__(
+        self, rtol: float = 0.5, theta: float = 0.08, kind: str = "amg", **prec_opts
+    ):
+        if kind not in ("amg", "gmg"):
+            raise ValueError(f"kind must be 'amg' or 'gmg', got {kind!r}")
         self.rtol = float(rtol)
         self.theta = theta
-        self.amg_opts = amg_opts
-        self._prec: StokesBlockPreconditioner | None = None
+        self.kind = kind
+        self.prec_opts = prec_opts
+        self._prec: StokesBlockPreconditioner | GMGStokesPreconditioner | None = None
         self._mesh = None
         self._bc_kind = None
         self._eta_ref: np.ndarray | None = None
-        #: fingerprint of the lagged state (AMG level matrices + eta
+        #: fingerprint of the lagged state (multigrid hierarchy + eta
         #: reference), taken at build under REPRO_SANITIZE=1 and verified
         #: before every reuse — in-place mutation of the memoized
         #: hierarchy would silently break the lagging premise
@@ -115,6 +136,8 @@ class LaggedStokesPreconditioner:
 
     def _frozen_state(self) -> list:
         assert self._prec is not None
+        if self.kind == "gmg":
+            return self._prec.frozen_state() + [self._eta_ref]
         return [
             [[lvl.A, lvl.P, lvl.L, lvl.U] for lvl in amg.levels]
             for amg in self._prec.amg
@@ -126,9 +149,12 @@ class LaggedStokesPreconditioner:
             return np.inf
         return float(np.max(np.abs(eta - self._eta_ref) / self._eta_ref))
 
-    def get(self, stokes: StokesSystem) -> StokesBlockPreconditioner:
-        """The preconditioner for ``stokes``, reusing the AMG setup when
-        the mesh is unchanged and the viscosity drift is within ``rtol``."""
+    def get(
+        self, stokes: StokesSystem
+    ) -> StokesBlockPreconditioner | GMGStokesPreconditioner:
+        """The preconditioner for ``stokes``, reusing the multigrid setup
+        when the mesh is unchanged and the viscosity drift is within
+        ``rtol``."""
         eta = stokes.viscosity
         reusable = (
             self._prec is not None
@@ -145,15 +171,18 @@ class LaggedStokesPreconditioner:
                 maybe_verify(
                     self._frozen_state(),
                     self._frozen_token,
-                    context="LaggedStokesPreconditioner AMG hierarchy",
+                    context=f"LaggedStokesPreconditioner {self.kind.upper()} hierarchy",
                 )
             self._prec.refresh_schur(stokes)
         else:
             self.n_builds += 1
             obs.counter("prec_builds")
-            self._prec = StokesBlockPreconditioner(
-                stokes, theta=self.theta, **self.amg_opts
-            )
+            if self.kind == "gmg":
+                self._prec = GMGStokesPreconditioner(stokes, **self.prec_opts)
+            else:
+                self._prec = StokesBlockPreconditioner(
+                    stokes, theta=self.theta, **self.prec_opts
+                )
             self._mesh = stokes.mesh
             self._bc_kind = stokes.bc_kind
             self._eta_ref = eta.copy()
@@ -163,6 +192,8 @@ class LaggedStokesPreconditioner:
         return self._prec
 
     def invalidate(self) -> None:
+        """Drop the lagged hierarchy so the next :meth:`get` rebuilds
+        (checkpoint restore and tests use this to force a cold start)."""
         self._prec = None
         self._mesh = None
         self._eta_ref = None

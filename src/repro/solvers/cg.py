@@ -19,6 +19,8 @@ __all__ = ["cg", "CGResult"]
 
 @dataclass
 class CGResult:
+    """Solution and convergence history of a CG run."""
+
     x: np.ndarray
     iterations: int
     converged: bool
@@ -26,6 +28,7 @@ class CGResult:
 
     @property
     def final_residual(self) -> float:
+        """Last recorded residual norm (``inf`` before any iteration)."""
         return self.residuals[-1] if self.residuals else np.inf
 
 

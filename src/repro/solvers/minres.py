@@ -34,6 +34,8 @@ class MinresResult:
 
     @property
     def final_residual(self) -> float:
+        """Last recorded preconditioned residual norm (``inf`` before
+        any iteration)."""
         return self.residuals[-1] if self.residuals else np.inf
 
 
@@ -63,8 +65,14 @@ def minres(
     M:
         SPD preconditioner *application* ``z = M(r)`` (approximates
         ``A^{-1}`` in the block-diagonal sense); identity when omitted.
+    x0:
+        Optional warm start.  A nonzero ``x0`` changes the convergence
+        reference from the initial residual to ``||b||_M`` so a warm
+        start cannot be held to a tighter absolute tolerance than a
+        cold one; ``x0=None`` (or all zeros) is the classic cold start.
     tol:
-        Relative tolerance on the preconditioned residual norm.
+        Relative tolerance on the preconditioned residual norm
+        (measured against ``||b||_M``, see ``x0``).
     """
     with obs.phase("minres"):
         res = _minres_impl(A, b, M, x0, tol, maxiter, callback)

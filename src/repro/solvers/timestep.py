@@ -80,6 +80,7 @@ class LowStorageRK45:
         return u
 
     def advance(self, rate, u: np.ndarray, t0: float, dt: float, n_steps: int) -> np.ndarray:
+        """Take ``n_steps`` fixed-size :meth:`step` calls from ``t0``."""
         t = t0
         for _ in range(n_steps):
             u = self.step(rate, u, t, dt)
